@@ -1,0 +1,333 @@
+//! The memory manager: one [`NumaPoolAllocator`] per (size class, NUMA
+//! domain), plus a system-allocator fallback.
+//!
+//! Agents and behaviors of distinct sizes are served by distinct allocators,
+//! "separated and stored in a columnar way" (paper Section 4.3). Sizes are
+//! rounded up to 16-byte classes; allocations that are too large or
+//! over-aligned for the pool transparently fall back to the system allocator.
+//!
+//! The benchmark harness also constructs managers with the pool disabled
+//! (`MemoryManager::system_only`) to reproduce the allocator comparison of
+//! Figure 13.
+
+use std::alloc::Layout;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::config::{current_thread_slot, max_pool_element_size, MAX_POOL_ALIGN};
+use crate::pool_allocator::{NumaPoolAllocator, PoolConfig};
+
+/// Aggregate allocator statistics (used by the Figure 13 harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Allocations served by pool allocators.
+    pub pool_allocations: u64,
+    /// Deallocations returned to pool allocators.
+    pub pool_deallocations: u64,
+    /// Allocations that fell back to the system allocator.
+    pub system_allocations: u64,
+    /// Bytes reserved from the OS by all pool allocators.
+    pub reserved_bytes: u64,
+    /// Number of distinct (size class, domain) pool allocators.
+    pub allocator_instances: u64,
+}
+
+/// Owner of all pool allocators of one simulation.
+pub struct MemoryManager {
+    config: PoolConfig,
+    num_domains: usize,
+    thread_slots: usize,
+    use_pool: bool,
+    /// size class -> one allocator per NUMA domain. `Box` keeps allocator
+    /// addresses stable; segment back-pointers refer to them.
+    classes: RwLock<HashMap<usize, Vec<Box<NumaPoolAllocator>>>>,
+    system_allocations: AtomicU64,
+}
+
+impl MemoryManager {
+    /// Creates a manager with pooling enabled.
+    pub fn new(num_domains: usize, thread_slots: usize, config: PoolConfig) -> MemoryManager {
+        assert!(num_domains > 0 && thread_slots > 0);
+        MemoryManager {
+            config,
+            num_domains,
+            thread_slots,
+            use_pool: true,
+            classes: RwLock::new(HashMap::new()),
+            system_allocations: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a manager that routes everything to the system allocator
+    /// (the paper's "ptmalloc2/jemalloc" comparison configurations).
+    pub fn system_only(num_domains: usize, thread_slots: usize) -> MemoryManager {
+        MemoryManager {
+            use_pool: false,
+            ..MemoryManager::new(num_domains, thread_slots, PoolConfig::default())
+        }
+    }
+
+    /// Whether the pool is in use (false for `system_only`).
+    pub fn uses_pool(&self) -> bool {
+        self.use_pool
+    }
+
+    /// Number of NUMA domains served.
+    pub fn num_domains(&self) -> usize {
+        self.num_domains
+    }
+
+    /// Rounds a size up to its pool size class.
+    #[inline]
+    fn size_class(size: usize) -> usize {
+        size.max(16).div_ceil(16) * 16
+    }
+
+    /// Whether the pool serves this layout (pure function of the layout, so
+    /// the allocation and deallocation paths always agree).
+    #[inline]
+    pub fn pool_eligible(layout: Layout) -> bool {
+        layout.size() > 0
+            && layout.align() <= MAX_POOL_ALIGN
+            && Self::size_class(layout.size()) <= max_pool_element_size()
+    }
+
+    /// Allocates memory for `layout` on `domain`.
+    ///
+    /// Returns a pointer and a flag saying whether it came from the pool;
+    /// the flag must be passed back to [`MemoryManager::dealloc`].
+    pub fn alloc(&self, layout: Layout, domain: usize) -> (*mut u8, bool) {
+        debug_assert!(domain < self.num_domains);
+        if self.use_pool && Self::pool_eligible(layout) {
+            let class = Self::size_class(layout.size());
+            // Fast path: the class already exists.
+            {
+                let classes = self.classes.read();
+                if let Some(allocators) = classes.get(&class) {
+                    return (self.alloc_from(&allocators[domain], domain), true);
+                }
+            }
+            // Slow path: create allocators for this class.
+            {
+                let mut classes = self.classes.write();
+                classes.entry(class).or_insert_with(|| {
+                    (0..self.num_domains)
+                        .map(|d| {
+                            Box::new(NumaPoolAllocator::new(
+                                class,
+                                d,
+                                self.thread_slots,
+                                self.config,
+                            ))
+                        })
+                        .collect()
+                });
+            }
+            let classes = self.classes.read();
+            let allocators = classes.get(&class).expect("class just inserted");
+            (self.alloc_from(&allocators[domain], domain), true)
+        } else {
+            self.system_allocations.fetch_add(1, Ordering::Relaxed);
+            if layout.size() == 0 {
+                return (std::ptr::NonNull::<u8>::dangling().as_ptr(), false);
+            }
+            // SAFETY: non-zero size checked above.
+            let p = unsafe { std::alloc::alloc(layout) };
+            assert!(!p.is_null(), "system allocation failed");
+            (p, false)
+        }
+    }
+
+    fn alloc_from(&self, allocator: &NumaPoolAllocator, domain: usize) -> *mut u8 {
+        // Use the thread-private list only when the current thread belongs to
+        // the allocator's domain.
+        let slot = current_thread_slot()
+            .filter(|&(s, d)| d == domain && s < self.thread_slots)
+            .map(|(s, _)| s);
+        allocator.alloc(slot)
+    }
+
+    /// Frees memory previously obtained from [`MemoryManager::alloc`].
+    ///
+    /// Pool memory finds its allocator through the segment back-pointer, so
+    /// this is an associated function: no manager reference is needed at
+    /// drop time (paper Figure 4B).
+    ///
+    /// # Safety
+    /// `ptr` must come from an `alloc` call with the same `layout` and
+    /// `from_pool` flag, the corresponding `MemoryManager` must still be
+    /// alive if `from_pool` is true, and `ptr` must not be freed twice.
+    pub unsafe fn dealloc(ptr: *mut u8, layout: Layout, from_pool: bool) {
+        if from_pool {
+            debug_assert!(Self::pool_eligible(layout));
+            let allocator = NumaPoolAllocator::allocator_of(ptr);
+            (*allocator).dealloc(ptr);
+        } else if layout.size() > 0 {
+            std::alloc::dealloc(ptr, layout);
+        }
+    }
+
+    /// Aggregate statistics over all pool allocators.
+    pub fn stats(&self) -> MemoryStats {
+        let classes = self.classes.read();
+        let mut s = MemoryStats {
+            system_allocations: self.system_allocations.load(Ordering::Relaxed),
+            ..MemoryStats::default()
+        };
+        for allocators in classes.values() {
+            for a in allocators {
+                let (alloc, dealloc, _, _) = a.counters();
+                s.pool_allocations += alloc;
+                s.pool_deallocations += dealloc;
+                s.reserved_bytes += a.reserved_bytes();
+                s.allocator_instances += 1;
+            }
+        }
+        s
+    }
+
+    /// Allocations minus deallocations across all pools (should be zero when
+    /// the simulation has been torn down).
+    pub fn outstanding(&self) -> i64 {
+        let classes = self.classes.read();
+        classes
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|a| a.outstanding())
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for MemoryManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryManager")
+            .field("num_domains", &self.num_domains)
+            .field("thread_slots", &self.thread_slots)
+            .field("use_pool", &self.use_pool)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_class_rounding() {
+        assert_eq!(MemoryManager::size_class(1), 16);
+        assert_eq!(MemoryManager::size_class(16), 16);
+        assert_eq!(MemoryManager::size_class(17), 32);
+        assert_eq!(MemoryManager::size_class(100), 112);
+    }
+
+    #[test]
+    fn eligibility() {
+        assert!(MemoryManager::pool_eligible(Layout::new::<[u8; 64]>()));
+        assert!(!MemoryManager::pool_eligible(Layout::new::<()>()));
+        let over_aligned = Layout::from_size_align(64, 64).unwrap();
+        assert!(!MemoryManager::pool_eligible(over_aligned));
+        let huge = Layout::from_size_align(max_pool_element_size() + 16, 8).unwrap();
+        assert!(!MemoryManager::pool_eligible(huge));
+    }
+
+    #[test]
+    fn pool_roundtrip() {
+        let mm = MemoryManager::new(2, 2, PoolConfig::default());
+        let layout = Layout::from_size_align(40, 8).unwrap();
+        let (p, from_pool) = mm.alloc(layout, 1);
+        assert!(from_pool);
+        unsafe {
+            std::ptr::write_bytes(p, 0xAB, 40);
+            MemoryManager::dealloc(p, layout, true);
+        }
+        assert_eq!(mm.outstanding(), 0);
+        let s = mm.stats();
+        assert_eq!(s.pool_allocations, 1);
+        assert_eq!(s.pool_deallocations, 1);
+        assert_eq!(s.allocator_instances, 2); // one per domain for this class
+    }
+
+    #[test]
+    fn system_only_never_pools() {
+        let mm = MemoryManager::system_only(1, 1);
+        let layout = Layout::from_size_align(40, 8).unwrap();
+        let (p, from_pool) = mm.alloc(layout, 0);
+        assert!(!from_pool);
+        unsafe { MemoryManager::dealloc(p, layout, false) };
+        assert_eq!(mm.stats().system_allocations, 1);
+        assert_eq!(mm.stats().pool_allocations, 0);
+    }
+
+    #[test]
+    fn distinct_sizes_get_distinct_allocators() {
+        let mm = MemoryManager::new(1, 1, PoolConfig::default());
+        let l1 = Layout::from_size_align(32, 8).unwrap();
+        let l2 = Layout::from_size_align(64, 8).unwrap();
+        let (p1, _) = mm.alloc(l1, 0);
+        let (p2, _) = mm.alloc(l2, 0);
+        unsafe {
+            let a1 = NumaPoolAllocator::allocator_of(p1);
+            let a2 = NumaPoolAllocator::allocator_of(p2);
+            assert_ne!(a1, a2, "columnar separation of size classes");
+            assert_eq!((*a1).element_size(), 32);
+            assert_eq!((*a2).element_size(), 64);
+            MemoryManager::dealloc(p1, l1, true);
+            MemoryManager::dealloc(p2, l2, true);
+        }
+    }
+
+    #[test]
+    fn zero_sized_layout() {
+        let mm = MemoryManager::new(1, 1, PoolConfig::default());
+        let layout = Layout::new::<()>();
+        let (p, from_pool) = mm.alloc(layout, 0);
+        assert!(!from_pool);
+        assert!(!p.is_null());
+        unsafe { MemoryManager::dealloc(p, layout, false) };
+    }
+
+    #[test]
+    fn oversized_falls_back_to_system() {
+        let mm = MemoryManager::new(1, 1, PoolConfig::default());
+        let size = max_pool_element_size() + 64;
+        let layout = Layout::from_size_align(size, 16).unwrap();
+        let (p, from_pool) = mm.alloc(layout, 0);
+        assert!(!from_pool);
+        unsafe {
+            std::ptr::write_bytes(p, 1, size);
+            MemoryManager::dealloc(p, layout, false);
+        }
+    }
+
+    #[test]
+    fn concurrent_class_creation() {
+        let mm = std::sync::Arc::new(MemoryManager::new(1, 4, PoolConfig::default()));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let mm = std::sync::Arc::clone(&mm);
+                std::thread::spawn(move || {
+                    crate::config::register_thread(t, 0);
+                    let mut ptrs = Vec::new();
+                    for i in 0..1000 {
+                        let size = 16 * (1 + (i + t) % 8);
+                        let layout = Layout::from_size_align(size, 8).unwrap();
+                        let (p, pool) = mm.alloc(layout, 0);
+                        ptrs.push((p, layout, pool));
+                    }
+                    for (p, layout, pool) in ptrs {
+                        unsafe { MemoryManager::dealloc(p, layout, pool) };
+                    }
+                    crate::config::unregister_thread();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(mm.outstanding(), 0);
+        assert_eq!(mm.stats().allocator_instances, 8);
+    }
+}

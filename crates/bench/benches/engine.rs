@@ -1,0 +1,93 @@
+//! Criterion microbench: end-to-end engine iterations — diffusion solver
+//! steps and single-iteration cost per benchmark model (the microscopic
+//! counterpart of Figure 5's breakdown and Figure 6's flat region).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bdm_core::{OptLevel, Param, Real3};
+use bdm_diffusion::DiffusionGrid;
+use bdm_models::{all_models, model_by_name};
+
+fn bench_diffusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diffusion_step");
+    group.sample_size(20);
+    for &res in &[16usize, 32, 64] {
+        let mut grid = DiffusionGrid::new("s", 0.4, 0.01, res, Real3::ZERO, 100.0);
+        grid.increase_concentration(Real3::splat(50.0), 1000.0);
+        let dt = grid.max_stable_dt() * 0.5;
+        group.bench_with_input(BenchmarkId::from_parameter(res), &res, |b, _| {
+            b.iter(|| {
+                grid.step(black_box(dt));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_iteration_2k");
+    group.sample_size(10);
+    for model in all_models(2_000) {
+        let param = Param {
+            threads: Some(2),
+            numa_domains: Some(2),
+            ..Param::default()
+        }
+        .apply_opt_level(OptLevel::StaticDetection);
+        group.bench_function(model.name(), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = model.build(param.clone());
+                    sim.simulate(2); // warm up indexes and pools
+                    sim
+                },
+                |mut sim| {
+                    sim.simulate(1);
+                    black_box(sim.num_agents())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_standard_vs_optimized(c: &mut Criterion) {
+    // The headline contrast at microbench scale: one oncology iteration
+    // under the standard vs the fully optimized configuration.
+    let mut group = c.benchmark_group("oncology_iteration_by_preset");
+    group.sample_size(10);
+    let model = model_by_name("oncology", 2_000).expect("model");
+    for (label, level) in [("standard", OptLevel::Standard), ("optimized", OptLevel::StaticDetection)] {
+        let param = Param {
+            threads: Some(2),
+            numa_domains: Some(2),
+            ..Param::default()
+        }
+        .apply_opt_level(level);
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = model.build(param.clone());
+                    sim.simulate(2);
+                    sim
+                },
+                |mut sim| {
+                    sim.simulate(1);
+                    black_box(sim.num_agents())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_diffusion,
+    bench_model_iteration,
+    bench_standard_vs_optimized
+);
+criterion_main!(benches);

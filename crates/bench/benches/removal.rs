@@ -1,0 +1,111 @@
+//! Criterion microbench: the parallel agent-removal algorithm of paper
+//! Section 3.2 (Figure 1) against the serial swap-and-shrink commit, plus
+//! the parallel-addition path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bdm_core::{new_agent_box, AgentHandle, Cell, ExecutionContext, ResourceManager};
+use bdm_core::{MemoryManager, NumaThreadPool, NumaTopology, PoolConfig, Real3};
+
+const THREADS: usize = 2;
+const DOMAINS: usize = 2;
+
+struct Fixture {
+    mm: MemoryManager,
+    pool: NumaThreadPool,
+}
+
+impl Fixture {
+    fn new() -> Fixture {
+        Fixture {
+            mm: MemoryManager::new(DOMAINS, THREADS, PoolConfig::default()),
+            pool: NumaThreadPool::new(NumaTopology::new(DOMAINS, THREADS)),
+        }
+    }
+
+    fn filled(&self, n: usize) -> (ResourceManager, Vec<AgentHandle>) {
+        let mut rm = ResourceManager::new(DOMAINS);
+        let mut handles = Vec::with_capacity(n);
+        for i in 0..n {
+            let cell = Cell::new(bdm_core::AgentUid(i as u64 + 1))
+                .with_position(Real3::splat(i as f64));
+            let handle = rm.push(i % DOMAINS, new_agent_box(cell, &self.mm, i % DOMAINS), 0);
+            handles.push(handle);
+        }
+        (rm, handles)
+    }
+}
+
+fn bench_removal(c: &mut Criterion) {
+    let fixture = Fixture::new();
+    let n = 20_000;
+    let mut group = c.benchmark_group("agent_removal");
+    group.sample_size(10);
+    for &(label, parallel) in &[("serial", false), ("parallel", true)] {
+        for &fraction in &[0.1f64, 0.5] {
+            let remove = (n as f64 * fraction) as usize;
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{:.0}%", fraction * 100.0)),
+                &parallel,
+                |b, &parallel| {
+                    b.iter_batched(
+                        || {
+                            let (rm, handles) = fixture.filled(n);
+                            let mut ctxs: Vec<ExecutionContext> =
+                                (0..THREADS).map(|_| ExecutionContext::new(DOMAINS)).collect();
+                            // Spread removals across the thread contexts the
+                            // way the agent-op phase would.
+                            for (k, handle) in handles.iter().step_by(n / remove).enumerate() {
+                                ctxs[k % THREADS].queue_removal(*handle);
+                            }
+                            (rm, ctxs)
+                        },
+                        |(mut rm, mut ctxs)| {
+                            let stats = rm.commit(&mut ctxs, &fixture.pool, parallel, 1);
+                            black_box((rm, stats))
+                        },
+                        BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_addition(c: &mut Criterion) {
+    let fixture = Fixture::new();
+    let n = 10_000;
+    let added = 5_000;
+    let mut group = c.benchmark_group("agent_addition");
+    group.sample_size(10);
+    for &(label, parallel) in &[("serial", false), ("parallel", true)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let (rm, _) = fixture.filled(n);
+                    let mut ctxs: Vec<ExecutionContext> =
+                        (0..THREADS).map(|_| ExecutionContext::new(DOMAINS)).collect();
+                    for i in 0..added {
+                        let cell = Cell::new(bdm_core::AgentUid(1_000_000 + i as u64));
+                        ctxs[i % THREADS].queue_new_agent(
+                            i % DOMAINS,
+                            new_agent_box(cell, &fixture.mm, i % DOMAINS),
+                        );
+                    }
+                    (rm, ctxs)
+                },
+                |(mut rm, mut ctxs)| {
+                    let stats = rm.commit(&mut ctxs, &fixture.pool, parallel, 1);
+                    black_box((rm, stats))
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_removal, bench_addition);
+criterion_main!(benches);

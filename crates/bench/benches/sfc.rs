@@ -1,0 +1,154 @@
+//! Criterion microbench: space-filling-curve codecs and the gap-offset
+//! enumeration (paper Section 4.2, Figure 3 D/E).
+//!
+//! Includes the **Morton-vs-Hilbert ablation** behind the paper's design
+//! decision: "higher costs to decode the Hilbert curve offset small gains
+//! … we use the Morton order because it results in simpler code."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bdm_sfc::{
+    hilbert3_decode, hilbert3_encode, morton3_decode, morton3_encode, GapOffsets,
+};
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sfc_codec");
+    let coords: Vec<(u32, u32, u32)> = (0..1024u32)
+        .map(|i| (i.wrapping_mul(7) % 1024, i.wrapping_mul(13) % 1024, i.wrapping_mul(29) % 1024))
+        .collect();
+    group.bench_function("morton3_encode_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y, z) in &coords {
+                acc = acc.wrapping_add(morton3_encode(black_box(x), y, z));
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("hilbert3_encode_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y, z) in &coords {
+                acc = acc.wrapping_add(hilbert3_encode(black_box(x), y, z, 10));
+            }
+            black_box(acc)
+        })
+    });
+    let codes: Vec<u64> = coords.iter().map(|&(x, y, z)| morton3_encode(x, y, z)).collect();
+    group.bench_function("morton3_decode_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &code in &codes {
+                let (x, y, z) = morton3_decode(black_box(code));
+                acc = acc.wrapping_add(x ^ y ^ z);
+            }
+            black_box(acc)
+        })
+    });
+    let hcodes: Vec<u64> = coords
+        .iter()
+        .map(|&(x, y, z)| hilbert3_encode(x, y, z, 10))
+        .collect();
+    group.bench_function("hilbert3_decode_1024", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &code in &hcodes {
+                let (x, y, z) = hilbert3_decode(black_box(code), 10);
+                acc = acc.wrapping_add(x ^ y ^ z);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_gap_offsets(c: &mut Criterion) {
+    // The linear-time gap enumeration vs. the naive "scan every code of the
+    // padded power-of-two cube and reject out-of-domain ones" approach it
+    // replaces (the paper's motivation for the quadtree DFS).
+    let mut group = c.benchmark_group("gap_offsets");
+    group.sample_size(20);
+    for &(nx, ny, nz) in &[(48u32, 48u32, 48u32), (100, 60, 30), (127, 127, 127)] {
+        let label = format!("{nx}x{ny}x{nz}");
+        group.bench_with_input(BenchmarkId::new("dfs", &label), &(nx, ny, nz), |b, _| {
+            b.iter(|| black_box(GapOffsets::compute_3d(nx, ny, nz)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_scan", &label), &(nx, ny, nz), |b, _| {
+            let side = nx.max(ny).max(nz).next_power_of_two() as u64;
+            b.iter(|| {
+                // Enumerate in-domain boxes by scanning all side³ codes.
+                let mut in_domain = 0u64;
+                for code in 0..side * side * side {
+                    let (x, y, z) = morton3_decode(code);
+                    if x < nx && y < ny && z < nz {
+                        in_domain += 1;
+                    }
+                }
+                black_box(in_domain)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rank_lookup(c: &mut Criterion) {
+    let offsets = GapOffsets::compute_3d(100, 60, 30);
+    let n = offsets.num_boxes();
+    c.bench_function("gap_rank_to_code_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for rank in (0..n).step_by(97) {
+                acc = acc.wrapping_add(offsets.rank_to_code(black_box(rank)));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_curve_enumeration(c: &mut Criterion) {
+    // The box-enumeration cost behind the engine's Morton-vs-Hilbert design
+    // decision (Section 4.2): Morton enumerates a non-pow2 grid in linear
+    // time via the gap-offset DFS; Hilbert needs an explicit O(B log B)
+    // sort of all box codes.
+    let mut group = c.benchmark_group("curve_enumeration");
+    group.sample_size(20);
+    for &(nx, ny, nz) in &[(32u32, 32u32, 32u32), (48, 48, 48)] {
+        let label = format!("{nx}x{ny}x{nz}");
+        group.bench_with_input(BenchmarkId::new("morton_gap_dfs", &label), &(), |b, _| {
+            b.iter(|| {
+                let gap = GapOffsets::compute_3d(nx, ny, nz);
+                let flats: Vec<u64> = gap.iter_codes().collect();
+                black_box(flats)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hilbert_sort", &label), &(), |b, _| {
+            let bits = nx.max(ny).max(nz).next_power_of_two().trailing_zeros().max(1);
+            b.iter(|| {
+                let mut keyed: Vec<(u64, u64)> = Vec::with_capacity((nx * ny * nz) as usize);
+                for z in 0..nz {
+                    for y in 0..ny {
+                        for x in 0..nx {
+                            keyed.push((
+                                hilbert3_encode(x, y, z, bits),
+                                (x + nx * (y + ny * z)) as u64,
+                            ));
+                        }
+                    }
+                }
+                keyed.sort_unstable_by_key(|&(code, _)| code);
+                black_box(keyed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codecs,
+    bench_gap_offsets,
+    bench_rank_lookup,
+    bench_curve_enumeration
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! **Figure 6** — average runtime per iteration and memory consumption as
+//! the number of agents varies from 10³ to 10⁹.
+//!
+//! The paper observes: runtime is nearly flat until ~10⁵ agents (1.21 ms →
+//! 2.80 ms — fixed engine overheads dominate), then grows linearly up to 10⁹
+//! agents (6.41–38.1 s/iteration); memory stays below 1.6 GB until 10⁶ and
+//! then also grows linearly (245–564 GB at 10⁹).
+//!
+//! On this host the sweep defaults to 10³…10⁵ (`--max-exp` raises it as far
+//! as RAM allows — the code path is identical, only the exponent changes).
+//! The harness fits the log-log slope of the tail; "reproduced" means a
+//! slope ≈ 1 (linear) after the flat region.
+
+use bdm_bench::{emit, fmt_bytes, fmt_secs, header, Args, RunSpec};
+use bdm_core::OptLevel;
+use bdm_util::Table;
+
+/// Least-squares slope of `ln(y)` against `ln(x)`.
+fn loglog_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    (denom.abs() > 1e-12).then(|| (n * sxy - sx * sy) / denom)
+}
+
+fn main() {
+    bdm_bench::child_guard();
+    let args = Args::parse();
+    header("Figure 6: runtime and space complexity", &args);
+
+    let max_exp = args.max_exp.unwrap_or(if args.quick { 4 } else { 5 });
+    let iterations = args.iters(10);
+    println!("sweep: 10^3 .. 10^{max_exp} agents, {iterations} iterations each (paper: 10^3 .. 10^9)\n");
+
+    let mut table = Table::new(["model", "agents", "s/iteration", "peak memory"]);
+    let mut slope_rows = Vec::new();
+    for name in args.selected_models() {
+        let mut runtime_points = Vec::new();
+        let mut memory_points = Vec::new();
+        for exp in 3..=max_exp {
+            let agents = 10usize.pow(exp);
+            let spec = RunSpec::new(&name, agents, iterations)
+                .with_opt(OptLevel::SortExtraMemory)
+                .with_topology(args.threads, args.domains);
+            let report = bdm_bench::measure_median(&spec, args.repeats, args.no_subprocess);
+            table.row([
+                name.clone(),
+                format!("1e{exp}"),
+                fmt_secs(report.per_iter_secs()),
+                fmt_bytes(report.peak_rss_bytes),
+            ]);
+            runtime_points.push((agents as f64, report.per_iter_secs()));
+            if report.peak_rss_bytes > 0 {
+                memory_points.push((agents as f64, report.peak_rss_bytes as f64));
+            }
+        }
+        // The paper's flat region ends around 10^5; fit the tail only (the
+        // last three points, or all if the sweep is short).
+        let tail_start = runtime_points.len().saturating_sub(3);
+        let runtime_slope = loglog_slope(&runtime_points[tail_start..]);
+        let memory_slope = loglog_slope(&memory_points[memory_points.len().saturating_sub(3)..]);
+        slope_rows.push((name, runtime_slope, memory_slope));
+    }
+    emit(&table, "fig06_complexity", &args);
+
+    let mut slopes = Table::new(["model", "runtime slope (tail)", "memory slope (tail)"]);
+    for (name, rt, mem) in slope_rows {
+        let fmt = |s: Option<f64>| s.map_or("n/a".to_string(), |v| format!("{v:.2}"));
+        slopes.row([name, fmt(rt), fmt(mem)]);
+    }
+    emit(&slopes, "fig06_slopes", &args);
+    println!(
+        "expected shape (paper): flat runtime until ~1e5 agents, then slope ≈ 1 (linear);\n\
+         memory slope ≈ 1 once agents dominate the fixed footprint."
+    );
+}

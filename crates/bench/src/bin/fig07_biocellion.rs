@@ -1,0 +1,137 @@
+//! **Figure 7** — comparison with Biocellion (Kang et al. 2014).
+//!
+//! Biocellion is proprietary; like the paper, we compare against its
+//! **published** numbers (DESIGN.md §3). Three published benchmarks anchor
+//! the comparison (all cell-sorting iterations):
+//!
+//! | benchmark | agents | cores | s/iter | agents/s/core |
+//! |---|---|---|---|---|
+//! | small  | 26.8 M  | 16   | 7.48 | 224 k |
+//! | medium | 281.4 M | 672  | 4.37 | 95.8 k |
+//! | large  | 1.72 B  | 4096 | 4.45 | 94.4 k |
+//!
+//! The paper's BioDynaMo results: 1.80 s/iter on 16 comparable cores
+//! (4.14× faster), 26.3 s/iter for 1.72 B cells on 72 cores (9.64× more
+//! efficient per core), and 4.24 s/iter for 281.4 M cells on 72 cores.
+//! We run the same model at a host-appropriate scale and compare
+//! **agents/second/core**, the unit in which the paper states its claim.
+//!
+//! `--visualize` additionally dumps the Figure 7a point cloud and reports
+//! the same-type-neighbor sorting metric (random mix = 0.5 → sorted ≈ 1).
+//! The second panel reproduces Figure 7b: the optimization ladder on the
+//! cell-sorting model.
+
+use bdm_bench::{emit, emit_raw, fmt_secs, fmt_speedup, header, Args, RunSpec};
+use bdm_core::{OptLevel, Param};
+use bdm_models::{cell_sorting::dump_positions_csv, BenchmarkModel, CellSorting};
+use bdm_util::Table;
+
+/// Published Biocellion results (Kang et al. [33], as cited in the paper).
+const BIOCELLION: [(&str, f64, f64, f64); 3] = [
+    ("small (26.8M, 16 cores)", 26.8e6, 16.0, 7.48),
+    ("medium (281.4M, 672 cores)", 281.4e6, 672.0, 4.37),
+    ("large (1.72B, 4096 cores)", 1.72e9, 4096.0, 4.45),
+];
+
+fn main() {
+    bdm_bench::child_guard();
+    let args = Args::parse();
+    header("Figure 7: comparison with Biocellion", &args);
+
+    let agents = args.scale(20_000);
+    let iterations = args.iters(30);
+    let threads = args
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+
+    // ---- Figure 7a: visual agreement check. ----
+    if args.visualize {
+        let model = CellSorting::new(agents.min(50_000));
+        let mut sim = model.build(Param {
+            threads: Some(threads),
+            numa_domains: args.domains,
+            seed: args.seed,
+            ..Param::default()
+        });
+        let before = bdm_models::same_type_neighbor_fraction(&sim, 15.0, 400);
+        sim.simulate(iterations.max(30));
+        let after = bdm_models::same_type_neighbor_fraction(&sim, 15.0, 400);
+        let path = emit_raw(&dump_positions_csv(&sim), "fig07a_cell_sorting_points.csv", &args)
+            .expect("write point cloud");
+        println!(
+            "Figure 7a: {} cells, same-type neighbor fraction {:.3} -> {:.3} \
+             (random mix = 0.5, sorted -> 1.0)\n           point cloud: {}\n",
+            sim.num_agents(),
+            before,
+            after,
+            path.display()
+        );
+    }
+
+    // ---- Our measurement at host scale. ----
+    let spec = RunSpec::new("cell_sorting", agents, iterations)
+        .with_opt(OptLevel::SortExtraMemory)
+        .with_topology(Some(threads), args.domains);
+    let ours = bdm_bench::measure_median(&spec, args.repeats, args.no_subprocess);
+    let our_rate = ours.final_agents as f64 / ours.per_iter_secs() / threads as f64;
+    println!(
+        "this host: {} agents, {} threads, {}/iteration -> {:.0} agents/s/core\n",
+        ours.final_agents,
+        threads,
+        fmt_secs(ours.per_iter_secs()),
+        our_rate
+    );
+
+    let mut table = Table::new([
+        "benchmark",
+        "biocellion agents/s/core",
+        "biodynamo-rs agents/s/core",
+        "per-core efficiency",
+        "paper reports",
+    ]);
+    for (label, b_agents, b_cores, b_secs) in BIOCELLION {
+        let b_rate = b_agents / b_secs / b_cores;
+        let ratio = our_rate / b_rate;
+        let paper = match label.chars().next() {
+            Some('s') => "4.14x faster (16 cores)",
+            Some('m') => "9.3x per core (4.24 vs 4.37 s/iter)",
+            _ => "9.64x per core",
+        };
+        table.row([
+            label.to_string(),
+            format!("{b_rate:.0}"),
+            format!("{our_rate:.0}"),
+            fmt_speedup(ratio),
+            paper.to_string(),
+        ]);
+    }
+    emit(&table, "fig07_biocellion", &args);
+    println!(
+        "shape check: the paper claims roughly 4x (few-core) to 10x (per-core at cluster scale)\n\
+         efficiency over Biocellion; any per-core efficiency > 1x on commodity hardware against\n\
+         Biocellion's published HPC numbers preserves the `who wins` direction.\n"
+    );
+
+    // ---- Figure 7b: optimization impact on the cell-sorting model. ----
+    println!("Figure 7b: optimization ladder on the cell-sorting model");
+    let mut ladder = Table::new(["optimization level", "s/iteration", "speedup vs standard"]);
+    let mut standard_secs = None;
+    for opt in OptLevel::ALL {
+        let spec = RunSpec::new("cell_sorting", agents, iterations)
+            .with_opt(opt)
+            .with_topology(Some(threads), args.domains);
+        let report = bdm_bench::measure_median(&spec, args.repeats, args.no_subprocess);
+        let per_iter = report.per_iter_secs();
+        let base = *standard_secs.get_or_insert(per_iter);
+        ladder.row([
+            opt.label().to_string(),
+            fmt_secs(per_iter),
+            fmt_speedup(base / per_iter),
+        ]);
+    }
+    emit(&ladder, "fig07b_optimizations", &args);
+    println!(
+        "paper (Figure 7b): memory-layout optimizations dominate on high-core-count systems;\n\
+         the uniform grid dominates at low core counts."
+    );
+}

@@ -1,0 +1,127 @@
+//! **Figure 10** — scalability.
+//!
+//! `--whole` reproduces Figure 10a: strong scaling of the *complete*
+//! simulations (all iterations, full optimizations), speedup vs one thread.
+//! The paper reports 60.7–74.0× (median 64.7×) on 72 physical cores — a
+//! parallel efficiency of 91.7%.
+//!
+//! The default mode reproduces Figures 10c–g: per-model strong scaling with
+//! ten iterations after progressively switching on the optimizations; the
+//! paper's observation is that the standard implementation scales poorly
+//! (serial kd-tree build) while the uniform grid and the memory
+//! optimizations unlock scaling across NUMA domains and high core counts.
+//! On this host the thread axis is short, but the *ordering* of the presets
+//! must hold.
+
+use bdm_bench::{emit, fmt_secs, fmt_speedup, header, Args, RunSpec};
+use bdm_core::OptLevel;
+use bdm_util::Table;
+
+/// Thread counts to sweep: powers of two up to the available parallelism,
+/// always including the maximum itself.
+fn thread_sweep(args: &Args) -> Vec<usize> {
+    let max = args
+        .threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let mut sweep = Vec::new();
+    let mut t = 1;
+    while t < max {
+        sweep.push(t);
+        t *= 2;
+    }
+    sweep.push(max);
+    sweep.dedup();
+    sweep
+}
+
+fn main() {
+    bdm_bench::child_guard();
+    let args = Args::parse();
+    let sweep = thread_sweep(&args);
+
+    if args.whole {
+        header("Figure 10a: whole-simulation strong scaling (full optimizations)", &args);
+        let agents = args.scale(6_000);
+        let mut table = Table::new(["model", "threads", "s/iteration", "speedup", "efficiency"]);
+        let mut last_effs = Vec::new();
+        for name in args.selected_models() {
+            let model = bdm_bench::model_or_die(&name, agents);
+            let iterations = args
+                .iterations
+                .unwrap_or_else(|| model.default_iterations().min(if args.quick { 10 } else { 40 }));
+            let mut serial = None;
+            for &threads in &sweep {
+                let spec = RunSpec::new(&name, agents, iterations)
+                    .with_opt(OptLevel::StaticDetection)
+                    .with_topology(Some(threads), args.domains.map(|d| d.min(threads)));
+                let report = bdm_bench::measure_median(&spec, args.repeats, args.no_subprocess);
+                let per_iter = report.per_iter_secs();
+                let base = *serial.get_or_insert(per_iter);
+                let speedup = base / per_iter;
+                let efficiency = speedup / threads as f64;
+                table.row([
+                    name.clone(),
+                    threads.to_string(),
+                    fmt_secs(per_iter),
+                    fmt_speedup(speedup),
+                    format!("{:.1}%", efficiency * 100.0),
+                ]);
+                if threads == *sweep.last().unwrap() {
+                    last_effs.push(efficiency);
+                }
+            }
+        }
+        emit(&table, "fig10a_whole_scalability", &args);
+        if let Some(med) = bdm_util::median(&last_effs) {
+            println!(
+                "median parallel efficiency at {} threads: {:.1}% (paper: 91.7% at 72 cores)",
+                sweep.last().unwrap(),
+                med * 100.0
+            );
+        }
+        return;
+    }
+
+    header("Figures 10c-g: strong scaling x optimization ladder (10 iterations)", &args);
+    let agents = args.scale(8_000);
+    let iterations = args.iters(10);
+    // The ladder subset plotted in the paper's per-model panels.
+    let presets = [
+        OptLevel::Standard,
+        OptLevel::UniformGrid,
+        OptLevel::MemoryLayout,
+        OptLevel::StaticDetection,
+    ];
+    let mut table = Table::new([
+        "model",
+        "configuration",
+        "threads",
+        "avg runtime (ms/iter)",
+        "speedup vs 1 thread",
+    ]);
+    for name in args.selected_models() {
+        for preset in presets {
+            let mut serial = None;
+            for &threads in &sweep {
+                let spec = RunSpec::new(&name, agents, iterations)
+                    .with_opt(preset)
+                    .with_topology(Some(threads), args.domains.map(|d| d.min(threads)));
+                let report = bdm_bench::measure_median(&spec, args.repeats, args.no_subprocess);
+                let per_iter = report.per_iter_secs();
+                let base = *serial.get_or_insert(per_iter);
+                table.row([
+                    name.clone(),
+                    preset.label().to_string(),
+                    threads.to_string(),
+                    format!("{:.2}", per_iter * 1e3),
+                    fmt_speedup(base / per_iter),
+                ]);
+            }
+        }
+    }
+    emit(&table, "fig10_scalability", &args);
+    println!(
+        "expected shape (paper): the standard implementation plateaus (serial kd-tree build);\n\
+         +uniform_grid restores scaling; +memory_layout keeps efficiency high across domains."
+    );
+}

@@ -1,0 +1,112 @@
+//! **Table 1** — performance-relevant simulation characteristics.
+//!
+//! Prints the paper's Table 1 from the models' self-descriptions, then
+//! verifies each claimed characteristic against a short actual run (e.g.,
+//! "deletes agents" must show `agents_removed > 0`). The verification column
+//! makes the table a living artifact instead of a transcription.
+
+use bdm_bench::{emit, header, Args, RunSpec};
+use bdm_core::OptLevel;
+use bdm_models::{all_models, Characteristics};
+use bdm_util::Table;
+
+fn main() {
+    bdm_bench::child_guard();
+    let args = Args::parse();
+    header("Table 1: performance-relevant simulation characteristics", &args);
+
+    let models = all_models(100);
+    let mut table = Table::new([
+        "characteristic",
+        "cell_proliferation",
+        "cell_clustering",
+        "epidemiology",
+        "neuroscience",
+        "oncology",
+    ]);
+    let chars: Vec<Characteristics> = models.iter().map(|m| m.characteristics()).collect();
+    let mut push = |label: &str, f: &dyn Fn(&Characteristics) -> String| {
+        let mut row = vec![label.to_string()];
+        row.extend(chars.iter().map(f));
+        table.row(row);
+    };
+    push("create new agents during simulation", &|c| {
+        Characteristics::mark(c.creates_agents).into()
+    });
+    push("delete agents during simulation", &|c| {
+        Characteristics::mark(c.deletes_agents).into()
+    });
+    push("agents modify neighbors", &|c| {
+        Characteristics::mark(c.modifies_neighbors).into()
+    });
+    push("load imbalance", &|c| Characteristics::mark(c.load_imbalance).into());
+    push("agents move randomly", &|c| {
+        Characteristics::mark(c.random_movement).into()
+    });
+    push("simulation uses diffusion", &|c| {
+        Characteristics::mark(c.uses_diffusion).into()
+    });
+    push("simulation has static regions", &|c| {
+        Characteristics::mark(c.has_static_regions).into()
+    });
+    push("number of iterations (paper)", &|c| c.paper_iterations.to_string());
+    push("number of agents (paper, millions)", &|c| {
+        format!("{:.1}", c.paper_agents as f64 / 1e6)
+    });
+    push("number of diffusion volumes (paper)", &|c| {
+        if c.paper_diffusion_volumes == 0 {
+            "0".into()
+        } else {
+            format!("{:.2e}", c.paper_diffusion_volumes as f64)
+        }
+    });
+    emit(&table, "table1_characteristics", &args);
+
+    // Verify the dynamic characteristics against an actual scaled-down run.
+    println!("verifying characteristics against actual runs…");
+    let agents = args.scale(800);
+    let mut verify = Table::new(["model", "claims", "observed", "status"]);
+    let mut failures = 0;
+    for model in &models {
+        let c = model.characteristics();
+        // Each model's default horizon is long enough for its claimed
+        // behaviors to appear (e.g. proliferation's first division).
+        let iterations = args.iterations.unwrap_or_else(|| model.default_iterations());
+        let spec = RunSpec::new(model.name(), agents, iterations)
+            .with_opt(OptLevel::StaticDetection)
+            .with_topology(args.threads, args.domains);
+        let report = bdm_bench::measure(&spec, args.no_subprocess);
+        let mut claims = Vec::new();
+        let mut observed = Vec::new();
+        let mut ok = true;
+        let mut check = |label: &str, claim: bool, actual: bool| {
+            claims.push(format!("{label}={}", Characteristics::mark(claim)));
+            observed.push(format!("{label}={}", Characteristics::mark(actual)));
+            // A claimed behavior must be observed; unclaimed behaviors must
+            // stay absent (except static regions: detection is best-effort
+            // on tiny scales).
+            if claim != actual {
+                ok = false;
+            }
+        };
+        check("creates", c.creates_agents, report.agents_added > 0);
+        check("deletes", c.deletes_agents, report.agents_removed > 0);
+        if c.has_static_regions {
+            check("static", true, report.static_skipped > 0);
+        }
+        verify.row([
+            model.name().to_string(),
+            claims.join(" "),
+            observed.join(" "),
+            if ok { "ok".into() } else { "MISMATCH".to_string() },
+        ]);
+        if !ok {
+            failures += 1;
+        }
+    }
+    emit(&verify, "table1_verification", &args);
+    if failures > 0 {
+        eprintln!("{failures} characteristic mismatch(es) — see table above");
+        std::process::exit(1);
+    }
+}

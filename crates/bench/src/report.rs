@@ -1,0 +1,111 @@
+//! Output helpers shared by the figure binaries: headline printing, CSV
+//! emission, and number formatting.
+
+use std::path::Path;
+
+use bdm_util::Table;
+
+use crate::args::Args;
+
+/// Prints the standard header of a figure binary.
+pub fn header(title: &str, args: &Args) {
+    let threads = args
+        .threads
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "auto".into());
+    let domains = args
+        .domains
+        .map(|d| d.to_string())
+        .unwrap_or_else(|| "auto".into());
+    println!("== {title} ==");
+    println!(
+        "   threads={threads} domains={domains} seed={}{}",
+        args.seed,
+        if args.quick { " (quick)" } else { "" }
+    );
+    println!();
+}
+
+/// Prints a table and, when `--csv` is set, writes `<out>/<name>.csv`.
+pub fn emit(table: &Table, name: &str, args: &Args) {
+    print!("{table}");
+    println!();
+    if args.csv {
+        let path = args.out_dir.join(format!("{name}.csv"));
+        match bdm_util::write_csv(table, &path) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(err) => eprintln!("error writing {}: {err}", path.display()),
+        }
+    }
+}
+
+/// Writes raw CSV content (visualization dumps) honoring `--out`.
+pub fn emit_raw(content: &str, name: &str, args: &Args) -> std::io::Result<std::path::PathBuf> {
+    let path = args.out_dir.join(name);
+    if let Some(parent) = Path::new(&path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Formats seconds adaptively (`µs`/`ms`/`s`).
+pub fn fmt_secs(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.1} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Formats a speedup factor (`12.3x`).
+pub fn fmt_speedup(factor: f64) -> String {
+    if factor >= 100.0 {
+        format!("{factor:.0}x")
+    } else {
+        format!("{factor:.2}x")
+    }
+}
+
+/// Formats a byte count (binary units) or `n/a` for zero (platforms without
+/// RSS introspection report zero).
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes == 0 {
+        "n/a".into()
+    } else {
+        bdm_util::format_bytes(bytes)
+    }
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(fmt_secs(0.0000005), "0.5 µs");
+        assert_eq!(fmt_secs(0.0123), "12.30 ms");
+        assert_eq!(fmt_secs(2.5), "2.50 s");
+        assert_eq!(fmt_speedup(3.14159), "3.14x");
+        assert_eq!(fmt_speedup(159.0), "159x");
+        assert_eq!(fmt_bytes(0), "n/a");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert_eq!(fmt_pct(0.763), "76.3%");
+    }
+
+    #[test]
+    fn emit_raw_writes_under_out_dir() {
+        let mut args = Args::default();
+        args.out_dir = std::env::temp_dir().join("bdm_bench_report_test");
+        let path = emit_raw("x,y\n1,2\n", "dump.csv", &args).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "x,y\n1,2\n");
+        let _ = std::fs::remove_dir_all(&args.out_dir);
+    }
+}

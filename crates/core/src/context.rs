@@ -1,0 +1,346 @@
+//! Execution contexts: thread-local deferred operations and the per-agent
+//! view handed to behaviors.
+//!
+//! BioDynaMo's `InPlaceExecutionContext` buffers agent additions and removals
+//! thread-locally and commits them at the end of each iteration (paper
+//! Section 3.2). We do the same, and additionally route *all* neighbor reads
+//! through a per-iteration [`Snapshot`] (position, diameter, user payload of
+//! every agent). The snapshot is immutable during the agent-operation phase,
+//! which makes concurrent neighbor access data-race-free in safe Rust while
+//! preserving the paper's locality properties: the snapshot is indexed by
+//! agent index, so agent sorting (Section 4.2) aligns spatial locality with
+//! memory locality for neighbor reads exactly as it does for the original's
+//! pointer-chasing reads.
+
+use bdm_alloc::MemoryManager;
+use bdm_diffusion::DiffusionGrid;
+use bdm_env::{Environment, PointCloud};
+use bdm_util::{Real3, SimRng};
+
+use crate::agent::{new_agent_box, Agent, AgentBox, AgentHandle, AgentUid};
+use crate::rng_stream;
+
+/// Per-agent data visible to neighbors during the agent-operation phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeighborData {
+    /// Position at the start of the iteration.
+    pub position: Real3,
+    /// Diameter at the start of the iteration.
+    pub diameter: f64,
+    /// User-defined payload ([`Agent::payload`]), e.g. cell type or
+    /// infection state.
+    pub payload: u64,
+}
+
+/// Immutable per-iteration snapshot of all agents (domain-major order, same
+/// indexing as the environment's point cloud).
+#[derive(Debug, Default)]
+pub struct Snapshot {
+    /// Per-agent data, concatenated over domains.
+    pub data: Vec<NeighborData>,
+    /// Start offset of each domain within `data` (plus a final total).
+    pub offsets: Vec<usize>,
+    /// Largest agent diameter (drives the default interaction radius).
+    pub max_diameter: f64,
+}
+
+impl Snapshot {
+    /// Global index of `(domain, local index)`.
+    #[inline]
+    pub fn global_index(&self, domain: usize, local: usize) -> usize {
+        self.offsets[domain] + local
+    }
+
+    /// Inverse of [`Snapshot::global_index`].
+    #[inline]
+    pub fn split_index(&self, global: usize) -> (usize, usize) {
+        // Domains are few (1–4 in the paper's systems); linear scan wins.
+        let mut domain = 0;
+        while domain + 1 < self.offsets.len() - 1 && self.offsets[domain + 1] <= global {
+            domain += 1;
+        }
+        (domain, global - self.offsets[domain])
+    }
+
+    /// Number of agents in the snapshot.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// The snapshot viewed as a point cloud — what neighbor searches during the
+/// agent-operation phase read positions from.
+pub struct SnapshotCloud<'a>(pub &'a Snapshot);
+
+impl PointCloud for SnapshotCloud<'_> {
+    fn len(&self) -> usize {
+        self.0.data.len()
+    }
+    fn position(&self, idx: usize) -> Real3 {
+        self.0.data[idx].position
+    }
+}
+
+/// A queued secretion: `(grid index, position, amount)`.
+pub(crate) type Secretion = (usize, Real3, f64);
+
+/// A deferred mutation of another agent, applied at the end of the iteration.
+pub(crate) type DeferredFn = Box<dyn FnOnce(&mut dyn Agent) + Send>;
+
+/// Thread-local buffered effects of one iteration.
+#[derive(Default)]
+pub struct ExecutionContext {
+    /// New agents per target NUMA domain.
+    pub(crate) new_agents: Vec<Vec<AgentBox>>,
+    /// Agents to remove (handles valid until commit).
+    pub(crate) removals: Vec<AgentHandle>,
+    /// Deferred mutations of other agents.
+    pub(crate) deferred: Vec<(AgentHandle, DeferredFn)>,
+    /// Queued substance secretions.
+    pub(crate) secretions: Vec<Secretion>,
+    /// Mechanics statistics: force calculations executed.
+    pub(crate) force_calculations: u64,
+    /// Mechanics statistics: agents skipped as static (paper Section 5).
+    pub(crate) static_skipped: u64,
+}
+
+impl ExecutionContext {
+    /// Creates a context for `num_domains` NUMA domains.
+    pub fn new(num_domains: usize) -> ExecutionContext {
+        ExecutionContext {
+            new_agents: (0..num_domains).map(|_| Vec::new()).collect(),
+            ..ExecutionContext::default()
+        }
+    }
+
+    /// Number of queued new agents.
+    pub fn pending_additions(&self) -> usize {
+        self.new_agents.iter().map(Vec::len).sum()
+    }
+
+    /// Number of queued removals.
+    pub fn pending_removals(&self) -> usize {
+        self.removals.len()
+    }
+
+    /// Queues a pre-built agent for insertion into `domain` (used by tests
+    /// and the benchmark harness; behaviors use `AgentContext::new_agent`).
+    pub fn queue_new_agent(&mut self, domain: usize, agent: AgentBox) {
+        self.new_agents[domain].push(agent);
+    }
+
+    /// Queues a removal (used by tests and the benchmark harness).
+    pub fn queue_removal(&mut self, handle: AgentHandle) {
+        self.removals.push(handle);
+    }
+}
+
+/// Everything a behavior may touch while its agent is being processed.
+pub struct AgentContext<'a> {
+    pub(crate) exec: &'a mut ExecutionContext,
+    pub(crate) env: &'a dyn Environment,
+    pub(crate) snapshot: &'a Snapshot,
+    pub(crate) mm: &'a MemoryManager,
+    pub(crate) diffusion: &'a [DiffusionGrid],
+    /// NUMA domain new agents are allocated on (the worker's domain).
+    pub(crate) alloc_domain: usize,
+    /// Handle of the agent currently being processed.
+    pub(crate) self_handle: AgentHandle,
+    /// Global index of the agent currently being processed.
+    pub(crate) self_global: usize,
+    /// Simulation time step.
+    pub dt: f64,
+    /// Current iteration (1-based).
+    pub iteration: u64,
+    /// Deterministic per-(agent, iteration) random stream: identical results
+    /// regardless of thread count or work stealing.
+    pub rng: SimRng,
+    /// Sequence number for deterministic child-uid derivation.
+    pub(crate) uid_seq: u64,
+    pub(crate) self_uid: AgentUid,
+}
+
+impl<'a> AgentContext<'a> {
+    /// Handle of the current agent.
+    pub fn self_handle(&self) -> AgentHandle {
+        self.self_handle
+    }
+
+    /// The simulation's memory manager (for manual agent construction, e.g.
+    /// cell division placing daughter behaviors in pool memory).
+    pub fn memory_manager(&self) -> &'a MemoryManager {
+        self.mm
+    }
+
+    /// The NUMA domain new agents created by this context land on.
+    pub fn alloc_domain(&self) -> usize {
+        self.alloc_domain
+    }
+
+    /// Translates a global (environment/snapshot) index into
+    /// `(domain, local index)` — e.g. to build an [`AgentHandle`] for
+    /// [`AgentContext::defer_on_agent`].
+    pub fn split_global(&self, global: usize) -> (usize, usize) {
+        self.snapshot.split_index(global)
+    }
+
+    /// Global (environment) index of the current agent.
+    pub fn self_index(&self) -> usize {
+        self.self_global
+    }
+
+    /// Visits every neighbor within `radius` of `pos`, excluding the current
+    /// agent. The callback receives `(global index, data, distance²)` — all
+    /// reads go to the immutable snapshot, never to live agents.
+    pub fn for_each_neighbor(
+        &self,
+        pos: Real3,
+        radius: f64,
+        mut f: impl FnMut(usize, &NeighborData, f64),
+    ) {
+        let cloud = SnapshotCloud(self.snapshot);
+        let data = &self.snapshot.data;
+        self.env
+            .for_each_neighbor(&cloud, pos, Some(self.self_global), radius, &mut |idx, d2| {
+                f(idx, &data[idx], d2)
+            });
+    }
+
+    /// Counts neighbors within `radius` of `pos` satisfying `pred`.
+    pub fn count_neighbors(
+        &self,
+        pos: Real3,
+        radius: f64,
+        mut pred: impl FnMut(&NeighborData) -> bool,
+    ) -> usize {
+        let mut n = 0;
+        self.for_each_neighbor(pos, radius, |_, d, _| {
+            if pred(d) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Derives a fresh deterministic uid for a child of the current agent.
+    pub fn next_uid(&mut self) -> AgentUid {
+        let mut s = self.self_uid.0 ^ self.iteration.wrapping_mul(0xD1B5_4A32_D192_ED03);
+        s = s.wrapping_add(self.uid_seq.wrapping_mul(0xA076_1D64_78BD_642F));
+        self.uid_seq += 1;
+        AgentUid(bdm_util::rng::splitmix64(&mut s))
+    }
+
+    /// Queues a new agent for insertion at the end of the iteration
+    /// (committed with the parallel addition of paper Section 3.2).
+    pub fn new_agent<A: Agent + 'static>(&mut self, agent: A) {
+        let boxed = new_agent_box(agent, self.mm, self.alloc_domain);
+        self.exec.new_agents[self.alloc_domain].push(boxed);
+    }
+
+    /// Queues the current agent for removal.
+    pub fn remove_self(&mut self) {
+        self.exec.removals.push(self.self_handle);
+    }
+
+    /// Queues removal of an arbitrary agent (must not be queued twice in the
+    /// same iteration).
+    pub fn remove_agent(&mut self, handle: AgentHandle) {
+        self.exec.removals.push(handle);
+    }
+
+    /// Defers a mutation of another agent; applied serially at the end of
+    /// the iteration, before removals.
+    pub fn defer_on_agent(
+        &mut self,
+        handle: AgentHandle,
+        f: impl FnOnce(&mut dyn Agent) + Send + 'static,
+    ) {
+        self.exec.deferred.push((handle, Box::new(f)));
+    }
+
+    /// Read access to a diffusion grid by index (as registered on the
+    /// simulation).
+    pub fn substance(&self, grid: usize) -> &DiffusionGrid {
+        &self.diffusion[grid]
+    }
+
+    /// Number of registered diffusion grids.
+    pub fn num_substances(&self) -> usize {
+        self.diffusion.len()
+    }
+
+    /// Queues a secretion of `amount` into grid `grid` at `pos` (applied
+    /// before the diffusion step of this iteration).
+    pub fn secrete(&mut self, grid: usize, pos: Real3, amount: f64) {
+        debug_assert!(grid < self.diffusion.len());
+        self.exec.secretions.push((grid, pos, amount));
+    }
+}
+
+/// Builds the per-(agent, iteration) RNG stream.
+pub(crate) fn agent_rng(seed: u64, uid: AgentUid, iteration: u64) -> SimRng {
+    rng_stream(seed ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15), uid.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(offsets: Vec<usize>, n: usize) -> Snapshot {
+        Snapshot {
+            data: vec![NeighborData::default(); n],
+            offsets,
+            max_diameter: 10.0,
+        }
+    }
+
+    #[test]
+    fn global_and_split_index_roundtrip() {
+        // Two domains: 5 and 3 agents.
+        let s = snapshot(vec![0, 5, 8], 8);
+        for (domain, local, global) in [(0, 0, 0), (0, 4, 4), (1, 0, 5), (1, 2, 7)] {
+            assert_eq!(s.global_index(domain, local), global);
+            assert_eq!(s.split_index(global), (domain, local));
+        }
+    }
+
+    #[test]
+    fn split_index_single_domain() {
+        let s = snapshot(vec![0, 4], 4);
+        assert_eq!(s.split_index(3), (0, 3));
+    }
+
+    #[test]
+    fn split_index_with_empty_middle_domain() {
+        let s = snapshot(vec![0, 2, 2, 5], 5);
+        assert_eq!(s.split_index(1), (0, 1));
+        // Global 2 belongs to domain 2 (domain 1 is empty).
+        assert_eq!(s.split_index(2), (2, 0));
+        assert_eq!(s.split_index(4), (2, 2));
+    }
+
+    #[test]
+    fn execution_context_counters() {
+        let ctx = ExecutionContext::new(2);
+        assert_eq!(ctx.pending_additions(), 0);
+        assert_eq!(ctx.pending_removals(), 0);
+        assert_eq!(ctx.new_agents.len(), 2);
+    }
+
+    #[test]
+    fn agent_rng_is_deterministic_and_distinct() {
+        let mut a = agent_rng(1, AgentUid(5), 3);
+        let mut b = agent_rng(1, AgentUid(5), 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = agent_rng(1, AgentUid(6), 3);
+        let mut d = agent_rng(1, AgentUid(5), 4);
+        let x = agent_rng(1, AgentUid(5), 3).next_u64();
+        assert_ne!(c.next_u64(), x);
+        assert_ne!(d.next_u64(), x);
+    }
+}

@@ -1,0 +1,56 @@
+//! # bdm-core
+//!
+//! The BioDynaMo simulation engine core — a from-scratch Rust implementation
+//! of the engine presented in "High-Performance and Scalable Agent-Based
+//! Simulation with BioDynaMo" (PPoPP 2023):
+//!
+//! * [`agent`] — agents as pool-allocated trait objects, the default
+//!   spherical [`Cell`].
+//! * [`behavior`] — behaviors attached to individual agents.
+//! * [`resource_manager`] — per-NUMA-domain agent storage with the parallel
+//!   addition/removal algorithms of Section 3.2 (Figure 1).
+//! * [`context`] — thread-local execution contexts and the data-race-free
+//!   neighbor snapshot.
+//! * [`force`] — the Cortex3D-style interaction force.
+//! * [`ops`] — behavior execution and mechanics with static-agent detection
+//!   (Section 5).
+//! * [`sorting`] — Morton-order agent sorting and NUMA balancing
+//!   (Section 4.2, Figure 3).
+//! * [`param`] — parameters and the optimization ladder of the evaluation.
+//! * [`simulation`] — the scheduler implementing Algorithm 1.
+
+pub mod agent;
+pub mod behavior;
+pub mod context;
+pub mod force;
+pub(crate) mod ops;
+pub mod param;
+pub mod resource_manager;
+pub(crate) mod sorting;
+pub mod simulation;
+
+pub use agent::{
+    clone_agent_box, new_agent_box, Agent, AgentBase, AgentBox, AgentHandle, AgentUid, Cell,
+    CloneIn,
+};
+pub use behavior::{
+    clone_behavior_box, new_behavior_box, Behavior, BehaviorBox, BehaviorControl,
+};
+pub use context::{AgentContext, ExecutionContext, NeighborData, Snapshot};
+pub use force::InteractionForce;
+pub use param::{OptLevel, Param};
+pub use resource_manager::{CommitStats, ResourceManager, StaticFlags};
+pub use simulation::{SimStats, Simulation, StandaloneOp};
+
+// Re-exported engine substrates for convenience.
+pub use bdm_alloc::{MemoryManager, PoolBox, PoolConfig};
+pub use bdm_diffusion::{BoundaryCondition, DiffusionGrid};
+pub use bdm_env::{Environment, EnvironmentKind};
+pub use bdm_sfc::CurveKind;
+pub use bdm_numa::{NumaThreadPool, NumaTopology};
+pub use bdm_util::{Real3, SimRng};
+
+/// Derives an independent RNG stream (seed, stream id).
+pub fn rng_stream(seed: u64, stream: u64) -> SimRng {
+    SimRng::stream(seed, stream)
+}

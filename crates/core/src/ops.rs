@@ -1,0 +1,173 @@
+//! Agent operations: behavior execution and the mechanical-forces operation
+//! with static-agent detection (paper Sections 2 and 5).
+
+use bdm_util::Real3;
+
+use crate::agent::Agent;
+use crate::behavior::BehaviorControl;
+use crate::context::AgentContext;
+use crate::force::InteractionForce;
+use crate::resource_manager::StaticFlags;
+
+/// Runs all behaviors of `agent`. Behaviors are temporarily detached from
+/// the agent so they can receive `&mut dyn Agent` without aliasing; behaviors
+/// returning [`BehaviorControl::RemoveSelf`] are dropped.
+pub(crate) fn run_behaviors(agent: &mut dyn Agent, ctx: &mut AgentContext<'_>) {
+    let mut behaviors = agent.base_mut().take_behaviors();
+    let mut i = 0;
+    let mut len = behaviors.len();
+    while i < len {
+        match behaviors[i].run(agent, ctx) {
+            BehaviorControl::Keep => i += 1,
+            BehaviorControl::RemoveSelf => {
+                behaviors.swap_remove(i);
+                len -= 1;
+            }
+        }
+    }
+    agent.base_mut().put_behaviors(behaviors);
+}
+
+/// Configuration of the mechanics operation for one iteration.
+pub(crate) struct MechanicsConfig {
+    pub force: InteractionForce,
+    /// Neighbor-search radius (the environment's build radius).
+    pub search_radius: f64,
+    /// Time step used to turn forces into displacements.
+    pub dt: f64,
+    /// Hard displacement cap (`simulation_max_displacement`).
+    pub max_displacement: f64,
+    /// Static-detection on/off (`detect_static_agents`).
+    pub detect_static: bool,
+    /// Displacements below this are "did not move".
+    pub static_threshold: f64,
+}
+
+/// Shared view of the per-domain violation flags, addressed by global index.
+pub(crate) struct ViolationTable<'a> {
+    /// One slice per domain.
+    pub slices: Vec<&'a [std::sync::atomic::AtomicBool]>,
+    /// Domain offsets (with total appended).
+    pub offsets: &'a [usize],
+}
+
+impl ViolationTable<'_> {
+    #[inline]
+    fn locate(&self, global: usize) -> (usize, usize) {
+        let mut d = 0;
+        while d + 1 < self.offsets.len() - 1 && self.offsets[d + 1] <= global {
+            d += 1;
+        }
+        (d, global - self.offsets[d])
+    }
+
+    /// Sets the violation flag of the agent at `global`.
+    #[inline]
+    pub fn raise(&self, global: usize) {
+        let (d, i) = self.locate(global);
+        self.slices[d][i].store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Consumes the violation flag of the agent at `global`.
+    #[inline]
+    pub fn take(&self, global: usize) -> bool {
+        let (d, i) = self.locate(global);
+        self.slices[d][i].swap(false, std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+/// The mechanical-forces agent operation: pairwise collision forces against
+/// all neighbors, displacement application, and the static-agent detection
+/// of paper Section 5.
+///
+/// Returns `true` if the force calculation was skipped (agent static).
+pub(crate) fn run_mechanics(
+    agent: &mut dyn Agent,
+    flags: &mut StaticFlags,
+    global: usize,
+    violations: &ViolationTable<'_>,
+    ctx: &mut AgentContext<'_>,
+    cfg: &MechanicsConfig,
+    neighbor_scratch: &mut Vec<u32>,
+) -> bool {
+    let snap = ctx.snapshot.data[global];
+    let pos_now = agent.position();
+    let diameter_now = agent.diameter();
+    // Condition (ii): attribute changes that could increase the force —
+    // growth or behavior-driven movement since the snapshot was taken.
+    let behavior_changed = pos_now.distance_sq(&snap.position) > cfg.static_threshold * cfg.static_threshold
+        || diameter_now > snap.diameter + 1e-12;
+    // Condition (iii): new agents announce their presence to their
+    // neighborhood on their first mechanics pass.
+    let is_first_pass = flags.created_iter > 0 && flags.created_iter + 1 == ctx.iteration;
+
+    if cfg.detect_static {
+        // Consume the violation flag set by neighbors during the previous
+        // iteration (conditions i–iii, push-based).
+        let violated = violations.take(global);
+        if flags.is_static && !violated && !behavior_changed && !is_first_pass {
+            ctx.exec.static_skipped += 1;
+            return true;
+        }
+    }
+
+    // Pairwise collision forces against all neighbors (condition iv counts
+    // the non-zero ones).
+    let mut total_force = Real3::ZERO;
+    let mut nonzero_forces = 0u32;
+    neighbor_scratch.clear();
+    let collect_neighbors = cfg.detect_static;
+    ctx.for_each_neighbor(pos_now, cfg.search_radius, |idx, nd, _d2| {
+        let f = cfg
+            .force
+            .sphere_sphere(pos_now, diameter_now, nd.position, nd.diameter);
+        if f != Real3::ZERO {
+            nonzero_forces += 1;
+            total_force += f;
+        }
+        if collect_neighbors {
+            neighbor_scratch.push(idx as u32);
+        }
+    });
+    ctx.exec.force_calculations += 1;
+
+    // Forces translate into displacement with unit mobility, capped by
+    // `simulation_max_displacement`.
+    let mut displacement = total_force * cfg.dt;
+    let norm = displacement.norm();
+    if norm > cfg.max_displacement {
+        displacement *= cfg.max_displacement / norm;
+    }
+    let moved = norm > cfg.static_threshold;
+    if moved {
+        agent.set_position(pos_now + displacement);
+    }
+
+    if cfg.detect_static {
+        if moved || behavior_changed || is_first_pass {
+            // The agent changed: it cannot be static, and all of its
+            // neighbors must re-evaluate their forces next iteration.
+            flags.is_static = false;
+            for &n in neighbor_scratch.iter() {
+                violations.raise(n as usize);
+            }
+            if moved {
+                // Also wake agents around the *new* position: a mover can
+                // enter the interaction radius of an agent that was not a
+                // neighbor at the old position. Static agents have not
+                // moved, so the (stale) index still holds them at their
+                // true positions and this query finds exactly the sleepers
+                // that must re-evaluate.
+                ctx.for_each_neighbor(agent.position(), cfg.search_radius, |idx, _nd, _d2| {
+                    violations.raise(idx);
+                });
+            }
+        } else {
+            // Did not move, nothing changed; condition (iv) allows at most
+            // one non-zero neighbor force (so that a shrinking or removed
+            // neighbor cannot release a hidden counter-force).
+            flags.is_static = nonzero_forces <= 1;
+        }
+    }
+    false
+}

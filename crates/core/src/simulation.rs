@@ -1,0 +1,576 @@
+//! The simulation object and scheduler (paper Section 2, Algorithm 1).
+//!
+//! One iteration executes:
+//!
+//! 1. **Pre standalone operations** — snapshot build, environment update
+//!    (Algorithm 1 L3–5; the barrier of L6 is implicit in the phase change).
+//! 2. **Agent operations** — behaviors and mechanical forces for every agent,
+//!    in parallel with the NUMA-aware iterator (L7–11).
+//! 3. **Standalone operations** — secretion application, diffusion steps,
+//!    user-registered operations (L12–14).
+//! 4. **Post standalone operations** — deferred mutations, commit of
+//!    additions/removals (Section 3.2), and agent sorting when due
+//!    (Section 4.2) (L16–18).
+//!
+//! Per-phase wall-clock time is accumulated into named buckets, which the
+//! benchmark harness turns into the operation-runtime breakdown of Figure 5.
+
+use bdm_alloc::{MemoryManager, MemoryStats, PoolConfig};
+use bdm_diffusion::DiffusionGrid;
+use bdm_env::Environment;
+use bdm_numa::{NumaThreadPool, NumaTopology, StealStats};
+use bdm_util::send_ptr::SendMut;
+use bdm_util::{TimeBuckets, Timer};
+
+use crate::agent::{new_agent_box, Agent, AgentHandle, AgentUid};
+use crate::context::{agent_rng, AgentContext, ExecutionContext, NeighborData, Snapshot};
+use crate::force::InteractionForce;
+use crate::ops::{run_behaviors, run_mechanics, MechanicsConfig, ViolationTable};
+use crate::param::Param;
+use crate::resource_manager::{ResourceManager, ResourceManagerCloud};
+use crate::sorting::sort_and_balance;
+
+/// Aggregate statistics across all iterations run so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Agents added by behaviors (committed).
+    pub agents_added: u64,
+    /// Agents removed by behaviors (committed).
+    pub agents_removed: u64,
+    /// Force calculations executed.
+    pub force_calculations: u64,
+    /// Force calculations skipped by static detection (Section 5).
+    pub static_skipped: u64,
+    /// Agent sorting passes executed.
+    pub sorts: u64,
+}
+
+/// A user-registered standalone operation (paper Section 2: "executed once
+/// per iteration to perform a specific task").
+pub type StandaloneOp = Box<dyn FnMut(&mut Simulation) + Send>;
+
+/// The central simulation object: owns the agents, environment, diffusion
+/// grids, thread pool, and memory manager.
+///
+/// Field order matters for drop order: everything holding pool-allocated
+/// boxes (`rm`, `ctxs`) is declared before `mm`.
+pub struct Simulation {
+    param: Param,
+    topology: NumaTopology,
+    pool: NumaThreadPool,
+    rm: ResourceManager,
+    ctxs: Vec<ExecutionContext>,
+    env: Box<dyn Environment>,
+    diffusion: Vec<DiffusionGrid>,
+    snapshot: Snapshot,
+    standalone_ops: Vec<(String, usize, StandaloneOp)>,
+    mm: MemoryManager,
+    iteration: u64,
+    uid_counter: u64,
+    init_round_robin: usize,
+    buckets: TimeBuckets,
+    stats: SimStats,
+    force: InteractionForce,
+}
+
+impl Simulation {
+    /// Creates a simulation from parameters.
+    pub fn new(param: Param) -> Simulation {
+        let mut topology = NumaTopology::detect();
+        if param.threads.is_some() || param.numa_domains.is_some() {
+            let threads = param.threads.unwrap_or_else(|| topology.num_threads());
+            let domains = param
+                .numa_domains
+                .unwrap_or_else(|| topology.num_domains())
+                .min(threads);
+            topology = NumaTopology::new(domains, threads);
+        }
+        let num_domains = topology.num_domains();
+        let num_threads = topology.num_threads();
+        let pool = NumaThreadPool::new(topology.clone());
+        let mm = if param.use_pool_allocator {
+            MemoryManager::new(
+                num_domains,
+                num_threads,
+                PoolConfig {
+                    growth_rate: param.mem_mgr_growth_rate,
+                    ..PoolConfig::default()
+                },
+            )
+        } else {
+            MemoryManager::system_only(num_domains, num_threads)
+        };
+        // Register every worker with the allocator so deallocations from the
+        // owning domain take the thread-private fast path (Figure 4B).
+        pool.broadcast(&|wctx| bdm_alloc::register_thread(wctx.thread_id, wctx.domain));
+        let env = param.environment.create();
+        Simulation {
+            rm: ResourceManager::new(num_domains),
+            ctxs: (0..num_threads).map(|_| ExecutionContext::new(num_domains)).collect(),
+            env,
+            diffusion: Vec::new(),
+            snapshot: Snapshot::default(),
+            standalone_ops: Vec::new(),
+            mm,
+            iteration: 0,
+            uid_counter: 0,
+            init_round_robin: 0,
+            buckets: TimeBuckets::new(),
+            stats: SimStats::default(),
+            force: InteractionForce::default(),
+            topology,
+            pool,
+            param,
+        }
+    }
+
+    /// Simulation parameters.
+    pub fn param(&self) -> &Param {
+        &self.param
+    }
+
+    /// The (virtual) NUMA topology in use.
+    pub fn topology(&self) -> &NumaTopology {
+        &self.topology
+    }
+
+    /// Overrides the interaction force model.
+    pub fn set_force(&mut self, force: InteractionForce) {
+        self.force = force;
+    }
+
+    /// Issues a fresh uid for model initialization.
+    pub fn new_uid(&mut self) -> AgentUid {
+        self.uid_counter += 1;
+        AgentUid(self.uid_counter)
+    }
+
+    /// Adds an agent during model initialization, balancing domains
+    /// round-robin.
+    pub fn add_agent<A: Agent + 'static>(&mut self, agent: A) -> AgentHandle {
+        let domain = self.init_round_robin % self.rm.num_domains();
+        self.init_round_robin += 1;
+        let boxed = new_agent_box(agent, &self.mm, domain);
+        self.rm.push(domain, boxed, 0)
+    }
+
+    /// Registers a diffusion grid; returns its index for
+    /// `AgentContext::substance` / `AgentContext::secrete`.
+    pub fn add_diffusion_grid(&mut self, grid: DiffusionGrid) -> usize {
+        self.diffusion.push(grid);
+        self.diffusion.len() - 1
+    }
+
+    /// Read access to a diffusion grid.
+    pub fn diffusion_grid(&self, idx: usize) -> &DiffusionGrid {
+        &self.diffusion[idx]
+    }
+
+    /// Mutable access to a diffusion grid (initialization).
+    pub fn diffusion_grid_mut(&mut self, idx: usize) -> &mut DiffusionGrid {
+        &mut self.diffusion[idx]
+    }
+
+    /// Registers a standalone operation executed every `frequency`
+    /// iterations after the agent operations.
+    pub fn add_standalone_op(
+        &mut self,
+        name: impl Into<String>,
+        frequency: usize,
+        op: StandaloneOp,
+    ) {
+        self.standalone_ops.push((name.into(), frequency.max(1), op));
+    }
+
+    /// Number of live agents.
+    pub fn num_agents(&self) -> usize {
+        self.rm.num_agents()
+    }
+
+    /// Current iteration (0 before the first step).
+    pub fn iteration(&self) -> u64 {
+        self.iteration
+    }
+
+    /// Simulated time (`iteration × dt`).
+    pub fn time(&self) -> f64 {
+        self.iteration as f64 * self.param.simulation_time_step
+    }
+
+    /// Shared access to the resource manager.
+    pub fn resource_manager(&self) -> &ResourceManager {
+        &self.rm
+    }
+
+    /// Exclusive access to the resource manager (model initialization,
+    /// custom standalone operations).
+    pub fn resource_manager_mut(&mut self) -> &mut ResourceManager {
+        &mut self.rm
+    }
+
+    /// Visits every agent.
+    pub fn for_each_agent(&self, f: impl FnMut(AgentHandle, &dyn Agent)) {
+        self.rm.for_each_agent(f);
+    }
+
+    /// Counts agents matching a predicate.
+    pub fn count_agents(&self, mut pred: impl FnMut(&dyn Agent) -> bool) -> usize {
+        let mut n = 0;
+        self.rm.for_each_agent(|_, a| {
+            if pred(a) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Per-phase wall-clock buckets (Figure 5's runtime breakdown).
+    pub fn time_buckets(&self) -> &TimeBuckets {
+        &self.buckets
+    }
+
+    /// Aggregate engine statistics.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Memory-allocator statistics (Figure 13).
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.mm.stats()
+    }
+
+    /// Work-stealing counters since the last call (Figure 2 arrows 4/5).
+    pub fn take_steal_stats(&self) -> StealStats {
+        self.pool.take_steal_stats()
+    }
+
+    /// Heap footprint of the neighbor-search index (Figure 11d).
+    pub fn environment_memory_bytes(&self) -> usize {
+        self.env.memory_bytes()
+    }
+
+    /// Name of the active environment backend.
+    pub fn environment_name(&self) -> &'static str {
+        self.env.name()
+    }
+
+    /// The memory manager (advanced use: custom agent allocation).
+    pub fn memory_manager(&self) -> &MemoryManager {
+        &self.mm
+    }
+
+    /// Runs `iterations` simulation steps (Algorithm 1 L2–19).
+    pub fn simulate(&mut self, iterations: usize) {
+        for _ in 0..iterations {
+            self.step();
+        }
+    }
+
+    /// Executes one iteration of Algorithm 1.
+    pub fn step(&mut self) {
+        self.iteration += 1;
+
+        // ---- Pre standalone operations: snapshot + environment (L3–5). ----
+        // The snapshot gather and the index build are timed separately so
+        // the Figure 11 build-time comparison isolates the index structure.
+        let t = Timer::start();
+        self.build_snapshot();
+        self.buckets.add("snapshot", t.elapsed());
+        let radius = self
+            .param
+            .interaction_radius
+            .unwrap_or_else(|| self.snapshot.max_diameter.max(1e-6));
+        let t = Timer::start();
+        if self.rm.num_agents() > 0 {
+            let cloud = ResourceManagerCloud::new(&self.rm);
+            self.env.update(&cloud, radius);
+        }
+        self.buckets.add("environment_update", t.elapsed());
+
+        // ---- Agent operations (L7–11). ----
+        let t = Timer::start();
+        if self.rm.num_agents() > 0 {
+            self.run_agent_ops(radius);
+        }
+        self.buckets.add("agent_ops", t.elapsed());
+
+        // ---- Standalone operations (L12–14). ----
+        let t = Timer::start();
+        self.apply_secretions();
+        let dt = self.param.simulation_time_step;
+        for grid in &mut self.diffusion {
+            grid.step(dt);
+        }
+        self.run_standalone_ops();
+        self.buckets.add("standalone_ops", t.elapsed());
+
+        // ---- Post standalone operations: teardown (L16–18). ----
+        let t = Timer::start();
+        self.apply_deferred();
+        let commit = self.rm.commit(
+            &mut self.ctxs,
+            &self.pool,
+            self.param.parallel_add_remove,
+            self.iteration,
+        );
+        self.stats.agents_added += commit.added as u64;
+        self.stats.agents_removed += commit.removed as u64;
+        self.buckets.add("teardown", t.elapsed());
+
+        // ---- Agent sorting and balancing (Section 4.2). ----
+        if let Some(freq) = self.param.agent_sort_frequency {
+            if freq > 0 && self.iteration % freq as u64 == 0 {
+                let t = Timer::start();
+                // If the commit above added or removed agents, the index
+                // built at the start of the iteration no longer matches the
+                // resource manager and must be rebuilt: the sort's memory
+                // safety depends on the box lists referencing current agent
+                // indices. Without population changes the index is merely
+                // position-stale, which is harmless — the sort only needs
+                // *a* consistent spatial binning of the current index set.
+                if (commit.added > 0 || commit.removed > 0) && self.rm.num_agents() > 0 {
+                    let cloud = ResourceManagerCloud::new(&self.rm);
+                    self.env.update(&cloud, radius);
+                }
+                if let Some(grid) = self.env.as_uniform_grid() {
+                    let moved = sort_and_balance(
+                        &mut self.rm,
+                        grid,
+                        &self.mm,
+                        &self.pool,
+                        &self.topology,
+                        self.param.sort_curve,
+                        self.param.sort_use_extra_memory,
+                    );
+                    if moved > 0 {
+                        self.stats.sorts += 1;
+                    }
+                }
+                self.buckets.add("agent_sorting", t.elapsed());
+            }
+        }
+    }
+
+    /// Builds the per-iteration snapshot (positions, diameters, payloads)
+    /// and the max diameter, reading agents through their pointers.
+    fn build_snapshot(&mut self) {
+        let offsets = self.rm.offsets();
+        let total = *offsets.last().unwrap();
+        self.snapshot.offsets = offsets;
+        self.snapshot.data.resize(total, NeighborData::default());
+        let sizes = self.rm.domain_sizes();
+        let max_diameter = std::sync::atomic::AtomicU64::new(0f64.to_bits());
+        {
+            let data_ptr = SendMut::new(self.snapshot.data.as_mut_ptr());
+            let snap_offsets = &self.snapshot.offsets;
+            let rm = &self.rm;
+            let max_ref = &max_diameter;
+            let block = self.param.iteration_block_size;
+            let body = |domain: usize, range: std::ops::Range<usize>| {
+                let mut local_max = 0f64;
+                let base = snap_offsets[domain];
+                for i in range {
+                    let agent = &*rm.domains[domain].agents[i];
+                    let d = agent.diameter();
+                    local_max = local_max.max(d);
+                    // SAFETY: global slot base+i written exactly once.
+                    unsafe {
+                        data_ptr.write(
+                            base + i,
+                            NeighborData {
+                                position: agent.position(),
+                                diameter: d,
+                                payload: agent.payload(),
+                            },
+                        );
+                    }
+                }
+                // Atomic f64 max via CAS on the bit pattern.
+                let mut cur = max_ref.load(std::sync::atomic::Ordering::Relaxed);
+                while f64::from_bits(cur) < local_max {
+                    match max_ref.compare_exchange_weak(
+                        cur,
+                        local_max.to_bits(),
+                        std::sync::atomic::Ordering::Relaxed,
+                        std::sync::atomic::Ordering::Relaxed,
+                    ) {
+                        Ok(_) => break,
+                        Err(c) => cur = c,
+                    }
+                }
+            };
+            if self.param.numa_aware_iteration {
+                self.pool
+                    .numa_for(&sizes, block, &|_w, domain, range| body(domain, range));
+            } else {
+                let splitter = GlobalSplitter(&self.snapshot.offsets);
+                self.pool.parallel_for(total, block, &|_w, range| {
+                    splitter.for_each_domain_range(range, &body)
+                });
+            }
+        }
+        self.snapshot.max_diameter = f64::from_bits(max_diameter.into_inner());
+    }
+
+    /// The parallel agent-operation phase: behaviors + mechanics.
+    fn run_agent_ops(&mut self, radius: f64) {
+        let sizes = self.rm.domain_sizes();
+        let offsets = self.rm.offsets();
+        let num_domains = sizes.len();
+        // Split-borrow agents (&mut via raw ptr), flags (&mut via raw ptr),
+        // and violations (&, atomics) per domain.
+        let mut agent_ptrs = Vec::with_capacity(num_domains);
+        let mut flag_ptrs = Vec::with_capacity(num_domains);
+        let mut violation_slices = Vec::with_capacity(num_domains);
+        for store in self.rm.domains.iter_mut() {
+            agent_ptrs.push(SendMut::new(store.agents.as_mut_ptr()));
+            flag_ptrs.push(SendMut::new(store.flags.as_mut_ptr()));
+            violation_slices.push(&store.violations[..]);
+        }
+        let violations = ViolationTable {
+            slices: violation_slices,
+            offsets: &offsets,
+        };
+        let mech = MechanicsConfig {
+            force: self.force,
+            search_radius: radius,
+            dt: self.param.simulation_time_step,
+            max_displacement: self.param.simulation_max_displacement,
+            detect_static: self.param.detect_static_agents,
+            static_threshold: self.param.static_displacement_threshold,
+        };
+        let ctxs_ptr = SendMut::new(self.ctxs.as_mut_ptr());
+        let env = &*self.env;
+        let snapshot = &self.snapshot;
+        let mm = &self.mm;
+        let diffusion = &self.diffusion[..];
+        let enable_mechanics = self.param.enable_mechanics;
+        let seed = self.param.seed;
+        let dt = self.param.simulation_time_step;
+        let iteration = self.iteration;
+        let offsets_ref = &offsets;
+        let agent_ptrs = &agent_ptrs;
+        let flag_ptrs = &flag_ptrs;
+        let violations_ref = &violations;
+        let mech_ref = &mech;
+
+        let body = move |worker: bdm_numa::WorkerCtx, domain: usize, range: std::ops::Range<usize>| {
+            // SAFETY: each worker accesses only its own execution context.
+            let exec = unsafe { ctxs_ptr.get_mut(worker.thread_id) };
+            let mut neighbor_scratch: Vec<u32> = Vec::new();
+            for i in range {
+                // SAFETY: each (domain, i) is processed by exactly one task.
+                let agent_box = unsafe { agent_ptrs[domain].get_mut(i) };
+                let flags = unsafe { flag_ptrs[domain].get_mut(i) };
+                let agent: &mut dyn Agent = &mut **agent_box;
+                let global = offsets_ref[domain] + i;
+                let uid = agent.uid();
+                let mut actx = AgentContext {
+                    exec,
+                    env,
+                    snapshot,
+                    mm,
+                    diffusion,
+                    alloc_domain: worker.domain,
+                    self_handle: crate::agent::AgentHandle::new(domain, i),
+                    self_global: global,
+                    dt,
+                    iteration,
+                    rng: agent_rng(seed, uid, iteration),
+                    uid_seq: 0,
+                    self_uid: uid,
+                };
+                run_behaviors(agent, &mut actx);
+                if enable_mechanics && agent.participates_in_mechanics() {
+                    run_mechanics(
+                        agent,
+                        flags,
+                        global,
+                        violations_ref,
+                        &mut actx,
+                        mech_ref,
+                        &mut neighbor_scratch,
+                    );
+                }
+            }
+        };
+        let block = self.param.iteration_block_size;
+        if self.param.numa_aware_iteration {
+            self.pool.numa_for(&sizes, block, &body);
+        } else {
+            let total: usize = sizes.iter().sum();
+            let splitter = GlobalSplitter(&offsets);
+            self.pool.parallel_for(total, block, &|w, range| {
+                splitter.for_each_domain_range(range, &|domain, r| body(w, domain, r))
+            });
+        }
+    }
+
+    /// Applies queued secretions to the diffusion grids.
+    fn apply_secretions(&mut self) {
+        for ctx in &mut self.ctxs {
+            for (grid, pos, amount) in ctx.secretions.drain(..) {
+                self.diffusion[grid].increase_concentration(pos, amount);
+            }
+        }
+    }
+
+    /// Applies deferred mutations of other agents (serial; rare).
+    fn apply_deferred(&mut self) {
+        for t in 0..self.ctxs.len() {
+            let deferred = std::mem::take(&mut self.ctxs[t].deferred);
+            for (handle, f) in deferred {
+                f(self.rm.agent_mut(handle));
+            }
+        }
+        // Fold per-iteration mechanics counters into the aggregate stats.
+        for ctx in &mut self.ctxs {
+            self.stats.force_calculations += std::mem::take(&mut ctx.force_calculations);
+            self.stats.static_skipped += std::mem::take(&mut ctx.static_skipped);
+        }
+    }
+
+    /// Runs user-registered standalone operations (take/put to allow
+    /// `&mut Simulation` access).
+    fn run_standalone_ops(&mut self) {
+        if self.standalone_ops.is_empty() {
+            return;
+        }
+        let mut ops = std::mem::take(&mut self.standalone_ops);
+        for (_name, freq, op) in ops.iter_mut() {
+            if self.iteration % *freq as u64 == 0 {
+                op(self);
+            }
+        }
+        // Ops registered *by* an op land behind the existing ones.
+        let added = std::mem::take(&mut self.standalone_ops);
+        self.standalone_ops = ops;
+        self.standalone_ops.extend(added);
+    }
+}
+
+/// Translates global-index ranges into per-domain ranges (used when NUMA
+/// awareness is off and the flat iterator hands out global ranges).
+struct GlobalSplitter<'a>(&'a [usize]);
+
+impl GlobalSplitter<'_> {
+    fn for_each_domain_range(
+        &self,
+        range: std::ops::Range<usize>,
+        f: &dyn Fn(usize, std::ops::Range<usize>),
+    ) {
+        let offsets = self.0;
+        let mut start = range.start;
+        while start < range.end {
+            let mut d = 0;
+            while d + 1 < offsets.len() - 1 && offsets[d + 1] <= start {
+                d += 1;
+            }
+            let local_start = start - offsets[d];
+            let domain_end = offsets[d + 1];
+            let end = range.end.min(domain_end);
+            f(d, local_start..local_start + (end - start));
+            start = end;
+        }
+    }
+}

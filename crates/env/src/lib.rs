@@ -1,0 +1,146 @@
+//! # bdm-env
+//!
+//! Radial neighbor-search environments (paper Sections 2 and 3.1).
+//!
+//! BioDynaMo exposes a common `Environment` interface with three
+//! implementations compared in the paper's Figure 11:
+//!
+//! * [`UniformGridEnvironment`] — the paper's optimized uniform grid with
+//!   timestamped boxes (O(#agents) rebuild) and an array-based linked list;
+//!   the engine's default and the fastest choice for the agent workload.
+//! * [`KdTreeEnvironment`] — a from-scratch kd-tree standing in for the
+//!   `nanoflann` backend (serial build, bucketed leaves).
+//! * [`OctreeEnvironment`] — a from-scratch octree standing in for the
+//!   Behley et al. backend (serial build, bucket-size parameter).
+//! * [`BruteForceEnvironment`] — O(n²) reference used by tests.
+//!
+//! Environments index any [`PointCloud`]; the engine adapts its resource
+//! manager to this trait, and tests use plain position slices.
+
+pub mod brute;
+pub mod kdtree;
+pub mod octree;
+pub mod uniform_grid;
+
+use bdm_util::Real3;
+
+pub use brute::BruteForceEnvironment;
+pub use kdtree::KdTreeEnvironment;
+pub use octree::OctreeEnvironment;
+pub use uniform_grid::UniformGridEnvironment;
+
+/// Read-only view of the agent positions an environment indexes.
+pub trait PointCloud: Sync {
+    /// Number of points.
+    fn len(&self) -> usize;
+    /// True if the cloud holds no points.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Position of point `idx` (`idx < len`).
+    fn position(&self, idx: usize) -> Real3;
+}
+
+impl PointCloud for Vec<Real3> {
+    fn len(&self) -> usize {
+        <[Real3]>::len(self)
+    }
+    fn position(&self, idx: usize) -> Real3 {
+        self[idx]
+    }
+}
+
+/// Borrowed position slice viewed as a [`PointCloud`] (used by tests,
+/// examples, and the baseline engine).
+#[derive(Debug, Clone, Copy)]
+pub struct SliceCloud<'a>(pub &'a [Real3]);
+
+impl PointCloud for SliceCloud<'_> {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn position(&self, idx: usize) -> Real3 {
+        self.0[idx]
+    }
+}
+
+/// Which neighbor-search backend to use (paper Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EnvironmentKind {
+    /// The optimized uniform grid of Section 3.1 (default).
+    #[default]
+    UniformGrid,
+    /// kd-tree (nanoflann stand-in).
+    KdTree,
+    /// Octree (Behley et al. stand-in).
+    Octree,
+}
+
+impl EnvironmentKind {
+    /// Instantiates the corresponding environment with default parameters.
+    pub fn create(self) -> Box<dyn Environment> {
+        match self {
+            EnvironmentKind::UniformGrid => Box::new(UniformGridEnvironment::new()),
+            EnvironmentKind::KdTree => Box::new(KdTreeEnvironment::new()),
+            EnvironmentKind::Octree => Box::new(OctreeEnvironment::new()),
+        }
+    }
+}
+
+/// A rebuildable fixed-radius neighbor-search index.
+pub trait Environment: Send + Sync {
+    /// Rebuilds the index over `cloud` for fixed-radius queries up to
+    /// `interaction_radius` (known at the start of each iteration; paper
+    /// Section 3.1 exploits exactly this).
+    fn update(&mut self, cloud: &dyn PointCloud, interaction_radius: f64);
+
+    /// Visits every point within `radius` of `pos` (`radius` must not exceed
+    /// the `interaction_radius` the index was built with). `exclude` skips
+    /// the querying agent itself. The callback receives `(index, distance²)`.
+    ///
+    /// `cloud` must be the point cloud the index was built over: like
+    /// BioDynaMo, the index stores agent *indices* only and re-reads
+    /// positions through the resource manager.
+    fn for_each_neighbor(
+        &self,
+        cloud: &dyn PointCloud,
+        pos: Real3,
+        exclude: Option<usize>,
+        radius: f64,
+        visit: &mut dyn FnMut(usize, f64),
+    );
+
+    /// Drops the index contents.
+    fn clear(&mut self);
+
+    /// Approximate heap footprint of the index, for the Figure 11d
+    /// comparison.
+    fn memory_bytes(&self) -> usize;
+
+    /// Short name used in benchmark output.
+    fn name(&self) -> &'static str;
+
+    /// Axis-aligned bounds of the indexed points, if any.
+    fn bounds(&self) -> Option<(Real3, Real3)>;
+
+    /// Downcast used by the agent-sorting operation, which exploits the
+    /// uniform grid's internals (paper Section 4.2: "we utilize its
+    /// characteristics to achieve fast sorting and balancing").
+    fn as_uniform_grid(&self) -> Option<&UniformGridEnvironment> {
+        None
+    }
+}
+
+/// Collects neighbor indices, sorted — convenience for tests and examples.
+pub fn neighbors_of(
+    env: &dyn Environment,
+    cloud: &dyn PointCloud,
+    pos: Real3,
+    exclude: Option<usize>,
+    radius: f64,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    env.for_each_neighbor(cloud, pos, exclude, radius, &mut |idx, _d2| out.push(idx));
+    out.sort_unstable();
+    out
+}

@@ -1,0 +1,399 @@
+//! The optimized uniform grid of paper Section 3.1.
+//!
+//! Key properties reproduced from the paper:
+//!
+//! * **O(#agents) rebuild** — every box carries a timestamp; a box is empty
+//!   unless its timestamp equals the grid's current one, so boxes are never
+//!   zeroed ("we can build the grid in O(#agents) time instead of
+//!   O(#agents + #boxes), which is relevant for large simulation spaces that
+//!   are not fully populated").
+//! * **Array-based linked list** — agents in a box form a singly-linked list
+//!   through the `successors` array, indexed by the same agent indices as the
+//!   resource manager; the box only stores the list head. After agent sorting
+//!   (Section 4.2) agents that share a box are also close in memory, which
+//!   speeds up walking this list.
+//! * **Parallel build** — agents are inserted concurrently with a CAS on the
+//!   packed `(timestamp, head)` word of their box.
+//! * **3×3×3 search** — a fixed-radius query visits the query box and its 26
+//!   surrounding boxes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bdm_util::Real3;
+use rayon::prelude::*;
+
+use crate::{Environment, PointCloud};
+
+/// Sentinel for "no agent" in box heads and the successors list.
+const NIL: u32 = u32::MAX;
+
+/// Below this point count the build runs serially: the fork-join overhead of
+/// the parallel path costs more than the whole serial build (measured with
+/// the `env_build` Criterion bench; the paper's Challenge 1 concerns large
+/// populations, where the parallel path wins).
+const PARALLEL_BUILD_THRESHOLD: usize = 1 << 16;
+
+/// Packs a box's `(timestamp, head)` into one atomic word so that the lazy
+/// reset-on-first-touch and the list push are a single CAS.
+#[inline]
+fn pack(ts: u32, head: u32) -> u64 {
+    ((ts as u64) << 32) | head as u64
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    ((word >> 32) as u32, word as u32)
+}
+
+/// The uniform grid environment (`UniformGridEnvironment` in BioDynaMo).
+pub struct UniformGridEnvironment {
+    /// Packed `(timestamp, head)` per box.
+    boxes: Vec<AtomicU64>,
+    /// `successors[i]` = next agent in the same box, or `NIL`.
+    successors: Vec<u32>,
+    /// Current grid timestamp; a box is valid only if its stamp matches.
+    timestamp: u32,
+    /// Number of boxes per axis.
+    dims: [u32; 3],
+    /// Lower corner of the grid.
+    grid_min: Real3,
+    /// Edge length of a cubic box (= interaction radius).
+    box_length: f64,
+    /// Cached `1 / box_length`: the per-point box computation multiplies
+    /// instead of dividing (three divisions per agent dominate the build
+    /// otherwise).
+    inv_box_length: f64,
+    /// Number of indexed points.
+    num_points: usize,
+    /// Bounds of the indexed points.
+    bounds: Option<(Real3, Real3)>,
+}
+
+impl Default for UniformGridEnvironment {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UniformGridEnvironment {
+    /// Creates an empty grid.
+    pub fn new() -> UniformGridEnvironment {
+        UniformGridEnvironment {
+            boxes: Vec::new(),
+            successors: Vec::new(),
+            timestamp: 0,
+            dims: [0; 3],
+            grid_min: Real3::ZERO,
+            box_length: 1.0,
+            inv_box_length: 1.0,
+            num_points: 0,
+            bounds: None,
+        }
+    }
+
+    /// Number of boxes per axis.
+    pub fn dims(&self) -> [u32; 3] {
+        self.dims
+    }
+
+    /// Lower corner of the grid.
+    pub fn grid_min(&self) -> Real3 {
+        self.grid_min
+    }
+
+    /// Box edge length the grid was built with.
+    pub fn box_length(&self) -> f64 {
+        self.box_length
+    }
+
+    /// Total number of boxes.
+    pub fn num_boxes(&self) -> usize {
+        self.dims.iter().map(|&d| d as usize).product()
+    }
+
+    /// Box coordinates containing `pos` (clamped into the grid).
+    #[inline]
+    pub fn box_coordinates(&self, pos: Real3) -> [u32; 3] {
+        let mut out = [0u32; 3];
+        for a in 0..3 {
+            let rel = (pos[a] - self.grid_min[a]) * self.inv_box_length;
+            let idx = if rel <= 0.0 { 0 } else { rel as i64 };
+            out[a] = (idx.min(self.dims[a] as i64 - 1)).max(0) as u32;
+        }
+        out
+    }
+
+    /// Flattened (row-major) index of box `(x, y, z)`.
+    #[inline]
+    pub fn flat_index(&self, bc: [u32; 3]) -> usize {
+        (bc[0] as usize)
+            + (self.dims[0] as usize) * ((bc[1] as usize) + (self.dims[1] as usize) * bc[2] as usize)
+    }
+
+    /// Head of the agent list of the box at `flat` (used by the sorting
+    /// operation), or `None` if the box is empty this iteration.
+    #[inline]
+    pub fn box_head(&self, flat: usize) -> Option<u32> {
+        let (ts, head) = unpack(self.boxes[flat].load(Ordering::Relaxed));
+        (ts == self.timestamp && head != NIL).then_some(head)
+    }
+
+    /// Successor of `agent` within its box list (used by the sorting
+    /// operation).
+    #[inline]
+    pub fn successor(&self, agent: u32) -> Option<u32> {
+        let next = self.successors[agent as usize];
+        (next != NIL).then_some(next)
+    }
+
+    /// Iterates the agents of one box.
+    pub fn for_each_in_box(&self, flat: usize, visit: &mut dyn FnMut(u32)) {
+        let mut cur = self.box_head(flat);
+        while let Some(i) = cur {
+            visit(i);
+            cur = self.successor(i);
+        }
+    }
+}
+
+impl Environment for UniformGridEnvironment {
+    fn update(&mut self, cloud: &dyn PointCloud, interaction_radius: f64) {
+        assert!(
+            interaction_radius > 0.0 && interaction_radius.is_finite(),
+            "interaction radius must be positive and finite"
+        );
+        let n = cloud.len();
+        self.num_points = n;
+        self.timestamp = self.timestamp.wrapping_add(1);
+        if self.timestamp == 0 {
+            // Extremely rare wrap: all stale stamps become ambiguous; reset.
+            for b in &self.boxes {
+                b.store(pack(0, NIL), Ordering::Relaxed);
+            }
+            self.timestamp = 1;
+        }
+        if n == 0 {
+            self.bounds = None;
+            self.dims = [0; 3];
+            return;
+        }
+
+        // Bounding box (parallel reduction above the threshold).
+        let neutral = || (Real3::splat(f64::INFINITY), Real3::splat(f64::NEG_INFINITY));
+        let (min, max) = if n < PARALLEL_BUILD_THRESHOLD {
+            (0..n).fold(neutral(), |(lo, hi), i| {
+                let p = cloud.position(i);
+                (lo.min(&p), hi.max(&p))
+            })
+        } else {
+            (0..n)
+                .into_par_iter()
+                .fold(neutral, |(lo, hi), i| {
+                    let p = cloud.position(i);
+                    (lo.min(&p), hi.max(&p))
+                })
+                .reduce(neutral, |a, b| (a.0.min(&b.0), a.1.max(&b.1)))
+        };
+        self.bounds = Some((min, max));
+        self.box_length = interaction_radius;
+        self.inv_box_length = 1.0 / interaction_radius;
+        self.grid_min = min;
+        let mut nboxes = 1usize;
+        for a in 0..3 {
+            let extent = (max[a] - min[a]).max(0.0);
+            let d = (extent / interaction_radius).floor() as u32 + 1;
+            // Cap per-axis dimension to the Morton range.
+            self.dims[a] = d.min(1 << 20);
+            nboxes = nboxes.saturating_mul(self.dims[a] as usize);
+        }
+
+        // Grow (never shrink) the box array; fresh boxes get timestamp 0,
+        // which is always stale because `timestamp` starts at 1.
+        if self.boxes.len() < nboxes {
+            let additional = nboxes - self.boxes.len();
+            self.boxes.reserve(additional);
+            let start = self.boxes.len();
+            if additional < PARALLEL_BUILD_THRESHOLD {
+                for _ in 0..additional {
+                    self.boxes.push(AtomicU64::new(pack(0, NIL)));
+                }
+            } else {
+                // Parallel-init the new tail (paper Challenge 1: resizing a
+                // large vector is single-threaded by default).
+                unsafe {
+                    let ptr = BoxesPtr(self.boxes.as_mut_ptr().add(start));
+                    (0..additional).into_par_iter().for_each(|i| {
+                        // SAFETY: each index written exactly once, within capacity.
+                        ptr.write(i, AtomicU64::new(pack(0, NIL)));
+                    });
+                    self.boxes.set_len(nboxes);
+                }
+            }
+        }
+        // `successors` entries are fully overwritten during insertion, so
+        // only growth needs initialization.
+        if self.successors.len() < n {
+            self.successors.resize(n, NIL);
+        }
+
+        // Insertion: serial below the threshold (plain stores), one CAS per
+        // agent on the packed box word above it.
+        let ts = self.timestamp;
+        if n < PARALLEL_BUILD_THRESHOLD {
+            for i in 0..n {
+                let bc = self.box_coordinates(cloud.position(i));
+                let flat = self.flat_index(bc);
+                let b = &self.boxes[flat];
+                let (bts, bhead) = unpack(b.load(Ordering::Relaxed));
+                // Lazy reset: a stale box behaves as empty.
+                let prev = if bts == ts { bhead } else { NIL };
+                b.store(pack(ts, i as u32), Ordering::Relaxed);
+                self.successors[i] = prev;
+            }
+            return;
+        }
+        let boxes = &self.boxes;
+        let successors_ptr = SuccessorsPtr(self.successors.as_mut_ptr());
+        let grid = &*self;
+        (0..n).into_par_iter().for_each(|i| {
+            let bc = grid.box_coordinates(cloud.position(i));
+            let flat = grid.flat_index(bc);
+            let b = &boxes[flat];
+            let mut cur = b.load(Ordering::Relaxed);
+            loop {
+                let (bts, bhead) = unpack(cur);
+                // Lazy reset: a stale box behaves as empty.
+                let prev = if bts == ts { bhead } else { NIL };
+                match b.compare_exchange_weak(
+                    cur,
+                    pack(ts, i as u32),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: slot `i` is written by exactly one task.
+                        unsafe { successors_ptr.write(i, prev) };
+                        break;
+                    }
+                    Err(c) => cur = c,
+                }
+            }
+        });
+    }
+
+    fn for_each_neighbor(
+        &self,
+        cloud: &dyn PointCloud,
+        pos: Real3,
+        exclude: Option<usize>,
+        radius: f64,
+        visit: &mut dyn FnMut(usize, f64),
+    ) {
+        if self.num_points == 0 || self.dims[0] == 0 {
+            return;
+        }
+        // A 3×3×3 box walk only covers queries up to the build radius;
+        // anything larger would silently miss neighbors, so fail loudly
+        // (models must declare their largest query via
+        // `Param::interaction_radius`).
+        assert!(
+            radius <= self.box_length * (1.0 + 1e-12),
+            "query radius {radius} exceeds the radius the uniform grid was built with ({}); \
+             set Param::interaction_radius to the largest query radius of the model",
+            self.box_length
+        );
+        let r2 = radius * radius;
+        let bc = self.box_coordinates(pos);
+        // 3×3×3 cube of boxes around the query box.
+        for dz in -1i64..=1 {
+            let z = bc[2] as i64 + dz;
+            if z < 0 || z >= self.dims[2] as i64 {
+                continue;
+            }
+            for dy in -1i64..=1 {
+                let y = bc[1] as i64 + dy;
+                if y < 0 || y >= self.dims[1] as i64 {
+                    continue;
+                }
+                for dx in -1i64..=1 {
+                    let x = bc[0] as i64 + dx;
+                    if x < 0 || x >= self.dims[0] as i64 {
+                        continue;
+                    }
+                    let flat = self.flat_index([x as u32, y as u32, z as u32]);
+                    let mut cur = self.box_head(flat);
+                    while let Some(i) = cur {
+                        let idx = i as usize;
+                        if Some(idx) != exclude {
+                            debug_assert!(idx < self.num_points);
+                            let d2 = pos.distance_sq(&cloud.position(idx));
+                            if d2 <= r2 {
+                                visit(idx, d2);
+                            }
+                        }
+                        cur = self.successor(i);
+                    }
+                }
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.boxes.clear();
+        self.successors.clear();
+        self.num_points = 0;
+        self.dims = [0; 3];
+        self.bounds = None;
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.boxes.capacity() * std::mem::size_of::<AtomicU64>()
+            + self.successors.capacity() * std::mem::size_of::<u32>()
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform_grid"
+    }
+
+    fn bounds(&self) -> Option<(Real3, Real3)> {
+        self.bounds
+    }
+
+    fn as_uniform_grid(&self) -> Option<&UniformGridEnvironment> {
+        Some(self)
+    }
+}
+
+/// Shared mutable pointer into the successors array; each index is written by
+/// exactly one parallel task.
+#[derive(Clone, Copy)]
+struct SuccessorsPtr(*mut u32);
+unsafe impl Send for SuccessorsPtr {}
+unsafe impl Sync for SuccessorsPtr {}
+
+impl SuccessorsPtr {
+    /// # Safety
+    /// `i` must be in bounds and written by exactly one task.
+    #[inline]
+    unsafe fn write(&self, i: usize, v: u32) {
+        self.0.add(i).write(v);
+    }
+}
+
+/// Shared mutable pointer into the boxes array tail during parallel init;
+/// each index is written by exactly one parallel task.
+#[derive(Clone, Copy)]
+struct BoxesPtr(*mut AtomicU64);
+unsafe impl Send for BoxesPtr {}
+unsafe impl Sync for BoxesPtr {}
+
+impl BoxesPtr {
+    /// # Safety (upheld by caller context)
+    /// `i` must be within the reserved capacity and written exactly once.
+    #[inline]
+    fn write(&self, i: usize, v: AtomicU64) {
+        // SAFETY: see above; the only call site iterates disjoint indices.
+        unsafe { self.0.add(i).write(v) };
+    }
+}
+

@@ -1,0 +1,271 @@
+//! Cross-implementation properties: every environment must return exactly
+//! the neighbors the brute-force reference returns, for arbitrary point sets
+//! and radii (the correctness contract behind paper Figure 11's comparison).
+
+use bdm_env::{
+    neighbors_of, BruteForceEnvironment, Environment, KdTreeEnvironment, OctreeEnvironment,
+    SliceCloud, UniformGridEnvironment,
+};
+use bdm_util::{Real3, SimRng};
+use proptest::prelude::*;
+
+/// Views a position slice as a `PointCloud`.
+fn pc(points: &[Real3]) -> SliceCloud<'_> {
+    SliceCloud(points)
+}
+
+fn environments() -> Vec<Box<dyn Environment>> {
+    vec![
+        Box::new(UniformGridEnvironment::new()),
+        Box::new(KdTreeEnvironment::new()),
+        Box::new(OctreeEnvironment::new()),
+    ]
+}
+
+fn random_points(seed: u64, n: usize, extent: f64) -> Vec<Real3> {
+    let mut rng = SimRng::new(seed);
+    (0..n).map(|_| rng.point_in_cube(0.0, extent)).collect()
+}
+
+/// Compares each environment against brute force for every point as a query.
+fn check_against_brute(points: &[Real3], radius: f64) {
+    let mut brute = BruteForceEnvironment::new();
+    brute.update(&pc(&points), radius);
+    for mut env in environments() {
+        env.update(&pc(&points), radius);
+        for (i, &p) in points.iter().enumerate() {
+            let expected = neighbors_of(&brute, &pc(&points), p, Some(i), radius);
+            let got = neighbors_of(env.as_ref(), &pc(&points), p, Some(i), radius);
+            assert_eq!(
+                got,
+                expected,
+                "{} disagrees with brute force (query {i}, radius {radius})",
+                env.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_cloud_yields_no_neighbors() {
+    let points: Vec<Real3> = Vec::new();
+    for mut env in environments() {
+        env.update(&pc(&points), 1.0);
+        let got = neighbors_of(env.as_ref(), &pc(&points), Real3::ZERO, None, 1.0);
+        assert!(got.is_empty(), "{}", env.name());
+        assert_eq!(env.bounds(), None);
+    }
+}
+
+#[test]
+fn single_point() {
+    let points = vec![Real3::new(1.0, 2.0, 3.0)];
+    for mut env in environments() {
+        env.update(&pc(&points), 2.0);
+        // Query at the point, excluding it.
+        let got = neighbors_of(env.as_ref(), &pc(&points), points[0], Some(0), 2.0);
+        assert!(got.is_empty(), "{}", env.name());
+        // Query nearby without exclusion.
+        let got = neighbors_of(
+            env.as_ref(),
+            &pc(&points),
+            Real3::new(1.5, 2.0, 3.0),
+            None,
+            2.0,
+        );
+        assert_eq!(got, vec![0], "{}", env.name());
+    }
+}
+
+#[test]
+fn coincident_points() {
+    let points = vec![Real3::splat(5.0); 40];
+    check_against_brute(&points, 1.0);
+}
+
+#[test]
+fn points_on_a_line() {
+    let points: Vec<Real3> = (0..50).map(|i| Real3::new(i as f64 * 0.5, 0.0, 0.0)).collect();
+    check_against_brute(&points, 1.0);
+}
+
+#[test]
+fn clustered_points() {
+    let mut rng = SimRng::new(99);
+    let mut points = Vec::new();
+    for c in 0..5 {
+        let center = Real3::splat(c as f64 * 20.0);
+        for _ in 0..30 {
+            points.push(center + rng.unit_vector() * rng.uniform_in(0.0, 2.0));
+        }
+    }
+    check_against_brute(&points, 3.0);
+}
+
+#[test]
+fn dense_uniform_cube() {
+    let points = random_points(7, 300, 10.0);
+    check_against_brute(&points, 2.0);
+}
+
+#[test]
+fn sparse_points_in_large_space() {
+    // Large empty space exercises the grid's timestamp-based lazy clearing:
+    // many boxes exist, few are populated.
+    let points = random_points(8, 50, 1000.0);
+    check_against_brute(&points, 30.0);
+}
+
+#[test]
+fn grid_reuse_across_updates_does_not_leak_stale_agents() {
+    // First build a dense cloud, then a tiny one; stale boxes must not
+    // resurface old indices (the timestamp mechanism under test).
+    let mut grid = UniformGridEnvironment::new();
+    let dense = random_points(21, 500, 50.0);
+    grid.update(&pc(&dense), 5.0);
+    let sparse = vec![Real3::splat(25.0), Real3::splat(26.0)];
+    grid.update(&pc(&sparse), 5.0);
+    for (i, &p) in sparse.iter().enumerate() {
+        let got = neighbors_of(&grid, &pc(&sparse), p, Some(i), 5.0);
+        let expected: Vec<usize> = (0..sparse.len()).filter(|&j| j != i).collect();
+        assert_eq!(got, expected);
+    }
+}
+
+#[test]
+fn grid_many_updates_timestamp_progression() {
+    let mut grid = UniformGridEnvironment::new();
+    let points = random_points(3, 64, 20.0);
+    let mut brute = BruteForceEnvironment::new();
+    brute.update(&pc(&points), 4.0);
+    for _ in 0..100 {
+        grid.update(&pc(&points), 4.0);
+    }
+    for (i, &p) in points.iter().enumerate() {
+        assert_eq!(
+            neighbors_of(&grid, &pc(&points), p, Some(i), 4.0),
+            neighbors_of(&brute, &pc(&points), p, Some(i), 4.0)
+        );
+    }
+}
+
+#[test]
+fn grid_box_accessors_enumerate_all_agents() {
+    let points = random_points(13, 200, 30.0);
+    let mut grid = UniformGridEnvironment::new();
+    grid.update(&pc(&points), 3.0);
+    let mut seen = vec![false; points.len()];
+    for flat in 0..grid.num_boxes() {
+        grid.for_each_in_box(flat, &mut |i| {
+            assert!(!seen[i as usize], "agent {i} listed twice");
+            seen[i as usize] = true;
+        });
+    }
+    assert!(seen.iter().all(|&s| s), "every agent is in exactly one box");
+}
+
+#[test]
+fn grid_box_coordinates_clamp() {
+    let points = vec![Real3::ZERO, Real3::splat(10.0)];
+    let mut grid = UniformGridEnvironment::new();
+    grid.update(&pc(&points), 1.0);
+    // Far outside queries clamp into the grid rather than panicking.
+    let bc = grid.box_coordinates(Real3::splat(-100.0));
+    assert_eq!(bc, [0, 0, 0]);
+    let bc = grid.box_coordinates(Real3::splat(100.0));
+    let dims = grid.dims();
+    assert_eq!(bc, [dims[0] - 1, dims[1] - 1, dims[2] - 1]);
+}
+
+#[test]
+fn clear_resets_environments() {
+    let points = random_points(5, 100, 10.0);
+    for mut env in environments() {
+        env.update(&pc(&points), 2.0);
+        env.clear();
+        let got = neighbors_of(env.as_ref(), &pc(&points), points[0], None, 2.0);
+        assert!(got.is_empty(), "{} after clear", env.name());
+    }
+}
+
+#[test]
+fn memory_bytes_reports_nonzero_after_update() {
+    let points = random_points(11, 1000, 20.0);
+    for mut env in environments() {
+        env.update(&pc(&points), 2.0);
+        assert!(env.memory_bytes() > 0, "{}", env.name());
+    }
+}
+
+#[test]
+fn octree_bucket_and_kdtree_leaf_parameters() {
+    let points = random_points(17, 400, 15.0);
+    let mut brute = BruteForceEnvironment::new();
+    brute.update(&pc(&points), 2.5);
+    for bucket in [1, 4, 64, 1000] {
+        let mut oct = OctreeEnvironment::with_bucket_size(bucket);
+        oct.update(&pc(&points), 2.5);
+        let mut kd = KdTreeEnvironment::with_leaf_size(bucket);
+        kd.update(&pc(&points), 2.5);
+        for (i, &p) in points.iter().enumerate().step_by(17) {
+            let expected = neighbors_of(&brute, &pc(&points), p, Some(i), 2.5);
+            assert_eq!(
+                neighbors_of(&oct, &pc(&points), p, Some(i), 2.5),
+                expected.clone(),
+                "octree bucket={bucket}"
+            );
+            assert_eq!(
+                neighbors_of(&kd, &pc(&points), p, Some(i), 2.5),
+                expected,
+                "kdtree leaf={bucket}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_all_envs_match_brute_force(
+        seed in any::<u64>(),
+        n in 1usize..150,
+        extent in 1.0f64..100.0,
+        radius_frac in 0.05f64..1.0,
+    ) {
+        let points = random_points(seed, n, extent);
+        // Radius scaled to the extent so both dense and sparse regimes occur.
+        let radius = extent * radius_frac * 0.2 + 1e-3;
+        let mut brute = BruteForceEnvironment::new();
+        brute.update(&pc(&points), radius);
+        for mut env in environments() {
+            env.update(&pc(&points), radius);
+            for (i, &p) in points.iter().enumerate() {
+                let expected = neighbors_of(&brute, &pc(&points), p, Some(i), radius);
+                let got = neighbors_of(env.as_ref(), &pc(&points), p, Some(i), radius);
+                prop_assert_eq!(got, expected, "{} seed={} i={}", env.name(), seed, i);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_query_points_off_cloud(
+        seed in any::<u64>(),
+        n in 1usize..100,
+        qx in -50.0f64..150.0,
+        qy in -50.0f64..150.0,
+        qz in -50.0f64..150.0,
+    ) {
+        let points = random_points(seed, n, 100.0);
+        let radius = 10.0;
+        let q = Real3::new(qx, qy, qz);
+        let mut brute = BruteForceEnvironment::new();
+        brute.update(&pc(&points), radius);
+        let expected = neighbors_of(&brute, &pc(&points), q, None, radius);
+        for mut env in environments() {
+            env.update(&pc(&points), radius);
+            let got = neighbors_of(env.as_ref(), &pc(&points), q, None, radius);
+            prop_assert_eq!(got, expected.clone(), "{}", env.name());
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Performance-relevant simulation characteristics (paper Table 1).
+
+/// The Table 1 rows for one benchmark simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Characteristics {
+    /// Create new agents during simulation.
+    pub creates_agents: bool,
+    /// Delete agents during simulation.
+    pub deletes_agents: bool,
+    /// Agents modify neighbors.
+    pub modifies_neighbors: bool,
+    /// Load imbalance.
+    pub load_imbalance: bool,
+    /// Agents move randomly.
+    pub random_movement: bool,
+    /// Simulation uses diffusion.
+    pub uses_diffusion: bool,
+    /// Simulation has static regions.
+    pub has_static_regions: bool,
+    /// Number of iterations in the paper's benchmark.
+    pub paper_iterations: usize,
+    /// Number of agents in the paper's benchmark (millions × 10⁶).
+    pub paper_agents: usize,
+    /// Number of diffusion volumes in the paper's benchmark.
+    pub paper_diffusion_volumes: usize,
+}
+
+impl Characteristics {
+    /// Formats a boolean as the check/cross marks of Table 1.
+    pub fn mark(v: bool) -> &'static str {
+        if v {
+            "yes"
+        } else {
+            "-"
+        }
+    }
+}

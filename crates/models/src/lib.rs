@@ -1,0 +1,144 @@
+//! # bdm-models
+//!
+//! The benchmark simulations of the paper's evaluation (Section 6.1,
+//! Table 1): cell proliferation, cell clustering, epidemiology,
+//! neuroscience, and oncology — plus the Biocellion cell-sorting model used
+//! for the comparison of Section 6.5.
+//!
+//! Every model implements [`BenchmarkModel`]: it documents its Table 1
+//! characteristics, builds a ready-to-run [`Simulation`] from an engine
+//! [`Param`] set (so the harness can sweep optimization levels, environments,
+//! thread counts, …), and checks model-level validity metrics after a run.
+//! Agent counts are configurable; the paper-scale counts (2–12.6 million)
+//! are recorded in the characteristics, while defaults are sized for a
+//! laptop-class machine.
+
+pub mod behaviors;
+pub mod cell_sorting;
+pub mod characteristics;
+pub mod clustering;
+pub mod epidemiology;
+pub mod metrics;
+pub mod neuroscience;
+pub mod oncology;
+pub mod proliferation;
+
+use bdm_core::{Param, Simulation};
+
+pub use behaviors::{Chemotaxis, GrowthDivision, RandomWalk, Secretion, TypeAdhesion};
+pub use cell_sorting::CellSorting;
+pub use characteristics::Characteristics;
+pub use clustering::CellClustering;
+pub use epidemiology::{Epidemiology, Person, SirState};
+pub use metrics::{positions_of, same_type_neighbor_fraction};
+pub use neuroscience::Neuroscience;
+pub use oncology::Oncology;
+pub use proliferation::CellProliferation;
+
+/// A benchmark simulation of the paper's evaluation.
+pub trait BenchmarkModel: Send + Sync {
+    /// Model name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Table 1 characteristics.
+    fn characteristics(&self) -> Characteristics;
+
+    /// Builds a ready-to-run simulation. The model adjusts `param` fields it
+    /// owns (time step, interaction radius, mechanics on/off) and leaves the
+    /// optimization switches to the caller.
+    fn build(&self, param: Param) -> Simulation;
+
+    /// Scaled-down default iteration count for the harness.
+    fn default_iterations(&self) -> usize {
+        50
+    }
+
+    /// Model-level validity metrics of a finished run, as
+    /// `(name, value)` pairs. Used by tests and the functional-evaluation
+    /// harness.
+    fn validate(&self, sim: &Simulation) -> Vec<(String, f64)>;
+}
+
+/// All five Table 1 models at the given agent scale.
+pub fn all_models(num_agents: usize) -> Vec<Box<dyn BenchmarkModel>> {
+    vec![
+        Box::new(CellProliferation::new(num_agents)),
+        Box::new(CellClustering::new(num_agents)),
+        Box::new(Epidemiology::new(num_agents)),
+        Box::new(Neuroscience::new(num_agents)),
+        Box::new(Oncology::new(num_agents)),
+    ]
+}
+
+/// Looks up a model by (figure) name.
+pub fn model_by_name(name: &str, num_agents: usize) -> Option<Box<dyn BenchmarkModel>> {
+    let m: Box<dyn BenchmarkModel> = match name {
+        "cell_proliferation" => Box::new(CellProliferation::new(num_agents)),
+        "cell_clustering" => Box::new(CellClustering::new(num_agents)),
+        "epidemiology" => Box::new(Epidemiology::new(num_agents)),
+        "neuroscience" => Box::new(Neuroscience::new(num_agents)),
+        "oncology" => Box::new(Oncology::new(num_agents)),
+        "cell_sorting" => Box::new(CellSorting::new(num_agents)),
+        _ => return None,
+    };
+    Some(m)
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_the_five_models() {
+        let models = all_models(100);
+        let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "cell_proliferation",
+                "cell_clustering",
+                "epidemiology",
+                "neuroscience",
+                "oncology"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        for n in [
+            "cell_proliferation",
+            "cell_clustering",
+            "epidemiology",
+            "neuroscience",
+            "oncology",
+            "cell_sorting",
+        ] {
+            assert!(model_by_name(n, 10).is_some(), "{n}");
+        }
+        assert!(model_by_name("nope", 10).is_none());
+    }
+
+    #[test]
+    fn paper_scale_characteristics_match_table1() {
+        let models = all_models(100);
+        let agents: Vec<usize> = models
+            .iter()
+            .map(|m| m.characteristics().paper_agents)
+            .collect();
+        assert_eq!(
+            agents,
+            vec![12_600_000, 2_000_000, 10_000_000, 9_000_000, 10_000_000]
+        );
+        let iters: Vec<usize> = models
+            .iter()
+            .map(|m| m.characteristics().paper_iterations)
+            .collect();
+        assert_eq!(iters, vec![500, 1000, 1000, 500, 288]);
+        let volumes: Vec<usize> = models
+            .iter()
+            .map(|m| m.characteristics().paper_diffusion_volumes)
+            .collect();
+        assert_eq!(volumes, vec![0, 54_000_000, 0, 65_000, 0]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the NUMA-aware thread pool (paper Section 4.1):
+//! under arbitrary topologies, domain loads, and block sizes, every item is
+//! executed exactly once, with in-bounds ranges and correct domain labels.
+
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use bdm_numa::{NumaThreadPool, NumaTopology};
+
+proptest! {
+    // Pools spawn real OS threads; keep the case count civil.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_numa_for_exactly_once(
+        domains in 1usize..4,
+        extra_threads in 0usize..4,
+        sizes_seed in prop::collection::vec(0usize..2_000, 1..4),
+        block in 1usize..700,
+    ) {
+        let threads = domains + extra_threads;
+        let pool = NumaThreadPool::new(NumaTopology::new(domains, threads));
+        // One size entry per domain (cycled from the seed).
+        let sizes: Vec<usize> = (0..domains).map(|d| sizes_seed[d % sizes_seed.len()]).collect();
+        let hits: Vec<Vec<AtomicU32>> = sizes
+            .iter()
+            .map(|&s| (0..s).map(|_| AtomicU32::new(0)).collect())
+            .collect();
+        let out_of_bounds = AtomicUsize::new(0);
+        {
+            let sizes = &sizes;
+            let hits = &hits;
+            let oob = &out_of_bounds;
+            pool.numa_for(sizes, block, &move |ctx, domain, range| {
+                if domain >= sizes.len() || ctx.thread_id >= threads || range.end > sizes[domain] {
+                    oob.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                for i in range {
+                    hits[domain][i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        prop_assert_eq!(out_of_bounds.load(Ordering::Relaxed), 0, "bad range/label seen");
+        for (d, dh) in hits.iter().enumerate() {
+            for (i, h) in dh.iter().enumerate() {
+                prop_assert_eq!(h.load(Ordering::Relaxed), 1, "domain {} item {}", d, i);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_parallel_for_exactly_once(
+        threads in 1usize..6,
+        n in 0usize..5_000,
+        block in 1usize..900,
+    ) {
+        let pool = NumaThreadPool::new(NumaTopology::new(1, threads));
+        let hits: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        pool.parallel_for(n, block, &|_ctx, range| {
+            for i in range {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, h) in hits.iter().enumerate() {
+            prop_assert_eq!(h.load(Ordering::Relaxed), 1, "item {}", i);
+        }
+    }
+
+    #[test]
+    fn prop_steal_stats_account_for_all_blocks(
+        domains in 1usize..3,
+        per_domain in 1usize..1_500,
+        block in 1usize..400,
+    ) {
+        let threads = domains * 2;
+        let pool = NumaThreadPool::new(NumaTopology::new(domains, threads));
+        let sizes = vec![per_domain; domains];
+        pool.take_steal_stats();
+        pool.numa_for(&sizes, block, &|_ctx, _domain, range| {
+            std::hint::black_box(range.len());
+        });
+        let stats = pool.take_steal_stats();
+        let expected_blocks: u64 = sizes
+            .iter()
+            .map(|&s| s.div_ceil(block) as u64)
+            .sum();
+        prop_assert_eq!(
+            stats.owned_blocks + stats.local_steals + stats.remote_steals,
+            expected_blocks,
+            "every block is either owned or stolen: {:?}",
+            stats
+        );
+    }
+}
+
+#[test]
+fn numa_for_labels_domains_correctly() {
+    let pool = NumaThreadPool::new(NumaTopology::new(3, 6));
+    let sizes = [100usize, 200, 300];
+    let seen = [AtomicU32::new(0), AtomicU32::new(0), AtomicU32::new(0)];
+    pool.numa_for(&sizes, 32, &|_ctx, domain, range| {
+        seen[domain].fetch_add(range.len() as u32, Ordering::Relaxed);
+    });
+    assert_eq!(seen[0].load(Ordering::Relaxed), 100);
+    assert_eq!(seen[1].load(Ordering::Relaxed), 200);
+    assert_eq!(seen[2].load(Ordering::Relaxed), 300);
+}

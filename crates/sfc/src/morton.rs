@@ -1,0 +1,187 @@
+//! Morton (Z-order) encoding and decoding in 2-D and 3-D.
+//!
+//! The engine sorts agents by the Morton code of their grid box (paper
+//! Section 4.2). The paper chose Morton order over the Hilbert curve because
+//! decoding is cheaper and the measured difference was negligible (0.54%).
+//!
+//! Encoding interleaves coordinate bits with the x axis in the least
+//! significant position: `code = ... z1 y1 x1 z0 y0 x0` (3-D) or
+//! `... y1 x1 y0 x0` (2-D). Implemented with parallel-bit magic numbers, no
+//! lookups, no loops.
+
+/// Maximum number of bits per coordinate supported by the 3-D codec.
+pub const MORTON3_BITS: u32 = 21;
+/// Maximum number of bits per coordinate supported by the 2-D codec.
+pub const MORTON2_BITS: u32 = 31;
+
+/// Spreads the low 21 bits of `v` so consecutive bits land 3 apart.
+#[inline]
+fn part1by2(v: u64) -> u64 {
+    let mut x = v & 0x1f_ffff; // 21 bits
+    x = (x | (x << 32)) & 0x1f00_0000_00ff_ff;
+    x = (x | (x << 16)) & 0x1f00_00ff_0000_ff;
+    x = (x | (x << 8)) & 0x100f_00f0_0f00_f00f;
+    x = (x | (x << 4)) & 0x10c3_0c30_c30c_30c3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`part1by2`]: compacts every third bit into the low 21 bits.
+#[inline]
+fn compact1by2(v: u64) -> u64 {
+    let mut x = v & 0x1249_2492_4924_9249;
+    x = (x ^ (x >> 2)) & 0x10c3_0c30_c30c_30c3;
+    x = (x ^ (x >> 4)) & 0x100f_00f0_0f00_f00f;
+    x = (x ^ (x >> 8)) & 0x1f00_00ff_0000_ff;
+    x = (x ^ (x >> 16)) & 0x1f00_0000_00ff_ff;
+    x = (x ^ (x >> 32)) & 0x1f_ffff;
+    x
+}
+
+/// Spreads the low 31 bits of `v` so consecutive bits land 2 apart.
+#[inline]
+fn part1by1(v: u64) -> u64 {
+    let mut x = v & 0x7fff_ffff;
+    x = (x | (x << 16)) & 0x0000_ffff_0000_ffff;
+    x = (x | (x << 8)) & 0x00ff_00ff_00ff_00ff;
+    x = (x | (x << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    x = (x | (x << 1)) & 0x5555_5555_5555_5555;
+    x
+}
+
+/// Inverse of [`part1by1`].
+#[inline]
+fn compact1by1(v: u64) -> u64 {
+    let mut x = v & 0x5555_5555_5555_5555;
+    x = (x ^ (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x ^ (x >> 2)) & 0x0f0f_0f0f_0f0f_0f0f;
+    x = (x ^ (x >> 4)) & 0x00ff_00ff_00ff_00ff;
+    x = (x ^ (x >> 8)) & 0x0000_ffff_0000_ffff;
+    x = (x ^ (x >> 16)) & 0x7fff_ffff;
+    x
+}
+
+/// Encodes a 3-D coordinate (each < 2^21) into its Morton code.
+#[inline]
+pub fn morton3_encode(x: u32, y: u32, z: u32) -> u64 {
+    debug_assert!(x < (1 << MORTON3_BITS) && y < (1 << MORTON3_BITS) && z < (1 << MORTON3_BITS));
+    part1by2(x as u64) | (part1by2(y as u64) << 1) | (part1by2(z as u64) << 2)
+}
+
+/// Decodes a 3-D Morton code back into `(x, y, z)`.
+#[inline]
+pub fn morton3_decode(code: u64) -> (u32, u32, u32) {
+    (
+        compact1by2(code) as u32,
+        compact1by2(code >> 1) as u32,
+        compact1by2(code >> 2) as u32,
+    )
+}
+
+/// Encodes a 2-D coordinate (each < 2^31) into its Morton code.
+#[inline]
+pub fn morton2_encode(x: u32, y: u32) -> u64 {
+    debug_assert!(x < (1 << MORTON2_BITS) && y < (1 << MORTON2_BITS));
+    part1by1(x as u64) | (part1by1(y as u64) << 1)
+}
+
+/// Decodes a 2-D Morton code back into `(x, y)`.
+#[inline]
+pub fn morton2_decode(code: u64) -> (u32, u32) {
+    (compact1by1(code) as u32, compact1by1(code >> 1) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Bit-by-bit reference implementation.
+    fn morton3_reference(x: u32, y: u32, z: u32) -> u64 {
+        let mut code = 0u64;
+        for bit in 0..MORTON3_BITS {
+            code |= ((x as u64 >> bit) & 1) << (3 * bit);
+            code |= ((y as u64 >> bit) & 1) << (3 * bit + 1);
+            code |= ((z as u64 >> bit) & 1) << (3 * bit + 2);
+        }
+        code
+    }
+
+    fn morton2_reference(x: u32, y: u32) -> u64 {
+        let mut code = 0u64;
+        for bit in 0..MORTON2_BITS {
+            code |= ((x as u64 >> bit) & 1) << (2 * bit);
+            code |= ((y as u64 >> bit) & 1) << (2 * bit + 1);
+        }
+        code
+    }
+
+    #[test]
+    fn known_3d_values() {
+        assert_eq!(morton3_encode(0, 0, 0), 0);
+        assert_eq!(morton3_encode(1, 0, 0), 0b001);
+        assert_eq!(morton3_encode(0, 1, 0), 0b010);
+        assert_eq!(morton3_encode(0, 0, 1), 0b100);
+        assert_eq!(morton3_encode(1, 1, 1), 0b111);
+        assert_eq!(morton3_encode(2, 0, 0), 0b001_000);
+        assert_eq!(morton3_encode(7, 7, 7), 0b111_111_111);
+    }
+
+    #[test]
+    fn known_2d_values() {
+        // Figure 3C of the paper: 4x4 grid Morton codes.
+        assert_eq!(morton2_encode(0, 0), 0);
+        assert_eq!(morton2_encode(1, 0), 1);
+        assert_eq!(morton2_encode(0, 1), 2);
+        assert_eq!(morton2_encode(1, 1), 3);
+        assert_eq!(morton2_encode(2, 0), 4);
+        assert_eq!(morton2_encode(3, 0), 5);
+        assert_eq!(morton2_encode(2, 1), 6);
+        assert_eq!(morton2_encode(0, 2), 8);
+        assert_eq!(morton2_encode(2, 2), 12);
+        assert_eq!(morton2_encode(3, 3), 15);
+    }
+
+    #[test]
+    fn max_coordinate_roundtrip() {
+        let m = (1u32 << MORTON3_BITS) - 1;
+        assert_eq!(morton3_decode(morton3_encode(m, m, m)), (m, m, m));
+        let m2 = (1u32 << MORTON2_BITS) - 1;
+        assert_eq!(morton2_decode(morton2_encode(m2, m2)), (m2, m2));
+    }
+
+    #[test]
+    fn locality_within_octant() {
+        // All codes inside one 2x2x2 octant precede codes of the next octant.
+        let max_in_first: u64 = (0..2)
+            .flat_map(|x| (0..2).flat_map(move |y| (0..2).map(move |z| morton3_encode(x, y, z))))
+            .max()
+            .unwrap();
+        assert!(max_in_first < morton3_encode(2, 0, 0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_3d_roundtrip(x in 0u32..1 << MORTON3_BITS, y in 0u32..1 << MORTON3_BITS, z in 0u32..1 << MORTON3_BITS) {
+            let code = morton3_encode(x, y, z);
+            prop_assert_eq!(morton3_decode(code), (x, y, z));
+        }
+
+        #[test]
+        fn prop_3d_matches_reference(x in 0u32..1 << MORTON3_BITS, y in 0u32..1 << MORTON3_BITS, z in 0u32..1 << MORTON3_BITS) {
+            prop_assert_eq!(morton3_encode(x, y, z), morton3_reference(x, y, z));
+        }
+
+        #[test]
+        fn prop_2d_roundtrip(x in 0u32..1 << MORTON2_BITS, y in 0u32..1 << MORTON2_BITS) {
+            let code = morton2_encode(x, y);
+            prop_assert_eq!(morton2_decode(code), (x, y));
+        }
+
+        #[test]
+        fn prop_2d_matches_reference(x in 0u32..1 << MORTON2_BITS, y in 0u32..1 << MORTON2_BITS) {
+            prop_assert_eq!(morton2_encode(x, y), morton2_reference(x, y));
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Process memory introspection.
+//!
+//! The paper reports memory consumption for Figures 6, 8, 9, 11, and 13.
+//! On Linux we read `VmRSS` / `VmHWM` from `/proc/self/status`; on other
+//! platforms the functions return `None` and the harness reports `n/a`.
+
+/// Parses a `Vm...:  <kB> kB` line from `/proc/self/status`.
+fn read_status_kb(key: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(key) {
+            let rest = rest.trim_start_matches(':').trim();
+            let kb: u64 = rest.split_whitespace().next()?.parse().ok()?;
+            return Some(kb);
+        }
+    }
+    None
+}
+
+/// Current resident set size in bytes, if the platform exposes it.
+pub fn rss_bytes() -> Option<u64> {
+    read_status_kb("VmRSS").map(|kb| kb * 1024)
+}
+
+/// Peak resident set size ("high water mark") in bytes.
+///
+/// Some sandboxed kernels (e.g. gVisor) expose `VmRSS` but not `VmHWM`; in
+/// that case this falls back to the *current* RSS, which under-reports peaks
+/// but keeps the benchmark harness functional.
+pub fn peak_rss_bytes() -> Option<u64> {
+    read_status_kb("VmHWM")
+        .map(|kb| kb * 1024)
+        .or_else(rss_bytes)
+}
+
+/// Formats a byte count with binary units (`KiB`, `MiB`, `GiB`).
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit + 1 < UNITS.len() {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_is_positive_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = rss_bytes().expect("linux exposes VmRSS");
+            assert!(rss > 0);
+            let peak = peak_rss_bytes().expect("peak falls back to rss on linux");
+            assert!(peak >= rss / 2, "peak {peak} should be near/above rss {rss}");
+        }
+    }
+
+    #[test]
+    fn rss_grows_with_allocation() {
+        if cfg!(target_os = "linux") {
+            let before = rss_bytes().unwrap();
+            // Touch 64 MiB so it is actually resident.
+            let v = vec![1u8; 64 << 20];
+            std::hint::black_box(&v);
+            let after = rss_bytes().unwrap();
+            assert!(
+                after >= before + (32 << 20),
+                "rss should grow by ~64MiB: before={before} after={after}"
+            );
+        }
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes(5 * 1024 * 1024), "5.00 MiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024 * 1024), "3.00 GiB");
+    }
+}

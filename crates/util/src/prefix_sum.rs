@@ -1,0 +1,144 @@
+//! Serial and parallel prefix sums.
+//!
+//! The agent sorting/balancing algorithm (paper Section 4.2, step F) and the
+//! parallel removal algorithm (Section 3.2, step 4) both rely on prefix sums
+//! over per-box / per-thread counters. The parallel variant is the classic
+//! two-pass block algorithm (work-efficient in the sense of Ladner & Fischer,
+//! the paper's citation [36]): per-block sums in parallel, a serial scan over
+//! the tiny block-sum array, then a parallel fix-up pass.
+
+use rayon::prelude::*;
+
+/// In-place exclusive prefix sum; returns the total.
+///
+/// `[3, 1, 4]` becomes `[0, 3, 4]` and `8` is returned.
+pub fn prefix_sum_exclusive(values: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for v in values.iter_mut() {
+        let next = acc + *v;
+        *v = acc;
+        acc = next;
+    }
+    acc
+}
+
+/// In-place inclusive prefix sum; returns the total (= last element).
+pub fn prefix_sum_inclusive(values: &mut [usize]) -> usize {
+    let mut acc = 0usize;
+    for v in values.iter_mut() {
+        acc += *v;
+        *v = acc;
+    }
+    acc
+}
+
+/// Parallel in-place **inclusive** prefix sum.
+///
+/// Falls back to the serial scan for small inputs where parallelism cannot
+/// pay for itself.
+pub fn inclusive_prefix_sum_parallel(values: &mut [usize]) -> usize {
+    const MIN_PARALLEL: usize = 1 << 14;
+    if values.len() < MIN_PARALLEL {
+        return prefix_sum_inclusive(values);
+    }
+    let threads = rayon::current_num_threads().max(1);
+    let block = values.len().div_ceil(threads);
+
+    // Pass 1: inclusive scan within each block, collect block totals.
+    let mut block_sums: Vec<usize> = values
+        .par_chunks_mut(block)
+        .map(|chunk| {
+            let mut acc = 0usize;
+            for v in chunk.iter_mut() {
+                acc += *v;
+                *v = acc;
+            }
+            acc
+        })
+        .collect();
+
+    // Pass 2: exclusive scan over the (tiny) block totals.
+    let total = prefix_sum_exclusive(&mut block_sums);
+
+    // Pass 3: add each block's offset.
+    values
+        .par_chunks_mut(block)
+        .zip(block_sums.par_iter())
+        .for_each(|(chunk, &offset)| {
+            if offset != 0 {
+                for v in chunk.iter_mut() {
+                    *v += offset;
+                }
+            }
+        });
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exclusive_basic() {
+        let mut v = vec![3, 1, 4, 1, 5];
+        let total = prefix_sum_exclusive(&mut v);
+        assert_eq!(v, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn inclusive_basic() {
+        let mut v = vec![3, 1, 4, 1, 5];
+        let total = prefix_sum_inclusive(&mut v);
+        assert_eq!(v, vec![3, 4, 8, 9, 14]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let mut e: Vec<usize> = vec![];
+        assert_eq!(prefix_sum_exclusive(&mut e), 0);
+        assert_eq!(inclusive_prefix_sum_parallel(&mut e), 0);
+        let mut s = vec![7];
+        assert_eq!(prefix_sum_inclusive(&mut s), 7);
+        assert_eq!(s, vec![7]);
+    }
+
+    #[test]
+    fn parallel_matches_serial_large() {
+        let n = 100_000;
+        let src: Vec<usize> = (0..n).map(|i| (i * 2654435761) % 17).collect();
+        let mut a = src.clone();
+        let mut b = src;
+        let ta = prefix_sum_inclusive(&mut a);
+        let tb = inclusive_prefix_sum_parallel(&mut b);
+        assert_eq!(ta, tb);
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_parallel_matches_serial(src in proptest::collection::vec(0usize..100, 0..20_000)) {
+            let mut a = src.clone();
+            let mut b = src;
+            let ta = prefix_sum_inclusive(&mut a);
+            let tb = inclusive_prefix_sum_parallel(&mut b);
+            prop_assert_eq!(ta, tb);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn prop_exclusive_shifts_inclusive(src in proptest::collection::vec(0usize..100, 1..1000)) {
+            let mut ex = src.clone();
+            let mut inc = src.clone();
+            let t1 = prefix_sum_exclusive(&mut ex);
+            let t2 = prefix_sum_inclusive(&mut inc);
+            prop_assert_eq!(t1, t2);
+            for i in 1..src.len() {
+                prop_assert_eq!(ex[i], inc[i - 1]);
+            }
+            prop_assert_eq!(ex[0], 0);
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! Three-component double-precision vector used for positions, displacements,
+//! and forces throughout the engine.
+//!
+//! The paper's simulations use double-precision floating point (Section 6.1),
+//! so `Real3` wraps `[f64; 3]`. The type is `Copy`, 24 bytes, and all
+//! operations are branch-free where possible so they vectorize well.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3-D vector of `f64`, the basic geometric quantity of the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Real3(pub [f64; 3]);
+
+impl Real3 {
+    /// The zero vector.
+    pub const ZERO: Real3 = Real3([0.0; 3]);
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Real3([x, y, z])
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Real3([v, v, v])
+    }
+
+    /// X component.
+    #[inline]
+    pub const fn x(&self) -> f64 {
+        self.0[0]
+    }
+
+    /// Y component.
+    #[inline]
+    pub const fn y(&self) -> f64 {
+        self.0[1]
+    }
+
+    /// Z component.
+    #[inline]
+    pub const fn z(&self) -> f64 {
+        self.0[2]
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, o: &Real3) -> f64 {
+        self.0[0] * o.0[0] + self.0[1] * o.0[1] + self.0[2] * o.0[2]
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(&self, o: &Real3) -> Real3 {
+        Real3([
+            self.0[1] * o.0[2] - self.0[2] * o.0[1],
+            self.0[2] * o.0[0] - self.0[0] * o.0[2],
+            self.0[0] * o.0[1] - self.0[1] * o.0[0],
+        ])
+    }
+
+    /// Squared Euclidean norm. Cheaper than [`Real3::norm`]; prefer it for
+    /// comparisons against squared radii in neighbor searches.
+    #[inline]
+    pub fn norm_sq(&self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared distance to another point.
+    #[inline]
+    pub fn distance_sq(&self, o: &Real3) -> f64 {
+        let dx = self.0[0] - o.0[0];
+        let dy = self.0[1] - o.0[1];
+        let dz = self.0[2] - o.0[2];
+        dx * dx + dy * dy + dz * dz
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(&self, o: &Real3) -> f64 {
+        self.distance_sq(o).sqrt()
+    }
+
+    /// Returns the unit vector pointing in the same direction, or zero if the
+    /// norm is too small to normalize safely.
+    #[inline]
+    pub fn normalized(&self) -> Real3 {
+        let n = self.norm();
+        if n > 1e-30 {
+            *self / n
+        } else {
+            Real3::ZERO
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, o: &Real3) -> Real3 {
+        Real3([
+            self.0[0].min(o.0[0]),
+            self.0[1].min(o.0[1]),
+            self.0[2].min(o.0[2]),
+        ])
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, o: &Real3) -> Real3 {
+        Real3([
+            self.0[0].max(o.0[0]),
+            self.0[1].max(o.0[1]),
+            self.0[2].max(o.0[2]),
+        ])
+    }
+
+    /// Clamps every component into `[lo, hi]`.
+    #[inline]
+    pub fn clamp_scalar(&self, lo: f64, hi: f64) -> Real3 {
+        Real3([
+            self.0[0].clamp(lo, hi),
+            self.0[1].clamp(lo, hi),
+            self.0[2].clamp(lo, hi),
+        ])
+    }
+
+    /// True if all components are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|v| v.is_finite())
+    }
+
+    /// The largest component.
+    #[inline]
+    pub fn max_element(&self) -> f64 {
+        self.0[0].max(self.0[1]).max(self.0[2])
+    }
+}
+
+impl From<[f64; 3]> for Real3 {
+    #[inline]
+    fn from(a: [f64; 3]) -> Self {
+        Real3(a)
+    }
+}
+
+impl From<Real3> for [f64; 3] {
+    #[inline]
+    fn from(v: Real3) -> Self {
+        v.0
+    }
+}
+
+impl Index<usize> for Real3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for Real3 {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl Add for Real3 {
+    type Output = Real3;
+    #[inline]
+    fn add(self, o: Real3) -> Real3 {
+        Real3([self.0[0] + o.0[0], self.0[1] + o.0[1], self.0[2] + o.0[2]])
+    }
+}
+
+impl AddAssign for Real3 {
+    #[inline]
+    fn add_assign(&mut self, o: Real3) {
+        self.0[0] += o.0[0];
+        self.0[1] += o.0[1];
+        self.0[2] += o.0[2];
+    }
+}
+
+impl Sub for Real3 {
+    type Output = Real3;
+    #[inline]
+    fn sub(self, o: Real3) -> Real3 {
+        Real3([self.0[0] - o.0[0], self.0[1] - o.0[1], self.0[2] - o.0[2]])
+    }
+}
+
+impl SubAssign for Real3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Real3) {
+        self.0[0] -= o.0[0];
+        self.0[1] -= o.0[1];
+        self.0[2] -= o.0[2];
+    }
+}
+
+impl Mul<f64> for Real3 {
+    type Output = Real3;
+    #[inline]
+    fn mul(self, s: f64) -> Real3 {
+        Real3([self.0[0] * s, self.0[1] * s, self.0[2] * s])
+    }
+}
+
+impl Mul<Real3> for f64 {
+    type Output = Real3;
+    #[inline]
+    fn mul(self, v: Real3) -> Real3 {
+        v * self
+    }
+}
+
+impl MulAssign<f64> for Real3 {
+    #[inline]
+    fn mul_assign(&mut self, s: f64) {
+        self.0[0] *= s;
+        self.0[1] *= s;
+        self.0[2] *= s;
+    }
+}
+
+impl Div<f64> for Real3 {
+    type Output = Real3;
+    #[inline]
+    fn div(self, s: f64) -> Real3 {
+        Real3([self.0[0] / s, self.0[1] / s, self.0[2] / s])
+    }
+}
+
+impl DivAssign<f64> for Real3 {
+    #[inline]
+    fn div_assign(&mut self, s: f64) {
+        self.0[0] /= s;
+        self.0[1] /= s;
+        self.0[2] /= s;
+    }
+}
+
+impl Neg for Real3 {
+    type Output = Real3;
+    #[inline]
+    fn neg(self) -> Real3 {
+        Real3([-self.0[0], -self.0[1], -self.0[2]])
+    }
+}
+
+impl Sum for Real3 {
+    fn sum<I: Iterator<Item = Real3>>(iter: I) -> Real3 {
+        iter.fold(Real3::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let v = Real3::new(1.0, 2.0, 3.0);
+        assert_eq!(v.x(), 1.0);
+        assert_eq!(v.y(), 2.0);
+        assert_eq!(v.z(), 3.0);
+        assert_eq!(Real3::splat(4.0), Real3::new(4.0, 4.0, 4.0));
+        assert_eq!(Real3::from([1.0, 2.0, 3.0]), v);
+        let a: [f64; 3] = v.into();
+        assert_eq!(a, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Real3::new(1.0, 2.0, 3.0);
+        let b = Real3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Real3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Real3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Real3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(b / 2.0, Real3::new(2.0, 2.5, 3.0));
+        assert_eq!(-a, Real3::new(-1.0, -2.0, -3.0));
+        let mut c = a;
+        c += b;
+        c -= a;
+        c *= 3.0;
+        c /= 3.0;
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn dot_cross_norm() {
+        let a = Real3::new(1.0, 0.0, 0.0);
+        let b = Real3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.dot(&b), 0.0);
+        assert_eq!(a.cross(&b), Real3::new(0.0, 0.0, 1.0));
+        assert_eq!(b.cross(&a), Real3::new(0.0, 0.0, -1.0));
+        let v = Real3::new(3.0, 4.0, 0.0);
+        assert_eq!(v.norm_sq(), 25.0);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.normalized().norm(), 1.0);
+        assert_eq!(Real3::ZERO.normalized(), Real3::ZERO);
+    }
+
+    #[test]
+    fn distances() {
+        let a = Real3::new(1.0, 1.0, 1.0);
+        let b = Real3::new(4.0, 5.0, 1.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn min_max_clamp() {
+        let a = Real3::new(1.0, 5.0, -2.0);
+        let b = Real3::new(2.0, 4.0, -3.0);
+        assert_eq!(a.min(&b), Real3::new(1.0, 4.0, -3.0));
+        assert_eq!(a.max(&b), Real3::new(2.0, 5.0, -2.0));
+        assert_eq!(a.clamp_scalar(0.0, 2.0), Real3::new(1.0, 2.0, 0.0));
+        assert_eq!(a.max_element(), 5.0);
+    }
+
+    #[test]
+    fn finiteness_and_sum() {
+        assert!(Real3::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Real3::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!Real3::new(0.0, f64::INFINITY, 0.0).is_finite());
+        let s: Real3 = [Real3::splat(1.0), Real3::splat(2.0)].into_iter().sum();
+        assert_eq!(s, Real3::splat(3.0));
+    }
+
+    #[test]
+    fn indexing() {
+        let mut v = Real3::new(1.0, 2.0, 3.0);
+        assert_eq!(v[1], 2.0);
+        v[2] = 9.0;
+        assert_eq!(v.z(), 9.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! `Send`/`Sync` raw-pointer wrapper for provably disjoint parallel writes.
+//!
+//! The engine frequently fills freshly reserved vector tails from multiple
+//! threads where every index is written by exactly one task. [`SendMut`]
+//! carries the base pointer across threads; all access goes through methods
+//! (not field access) so that edition-2021 closures capture the wrapper —
+//! which carries the `Sync` promise — rather than the bare pointer.
+
+/// Shared mutable base pointer; the caller guarantees disjoint index access.
+#[derive(Debug)]
+pub struct SendMut<T>(*mut T);
+
+impl<T> Clone for SendMut<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendMut<T> {}
+
+// SAFETY: the caller promises disjoint-index access (each index touched by
+// at most one thread at a time); the wrapper itself holds no data.
+unsafe impl<T> Send for SendMut<T> {}
+unsafe impl<T> Sync for SendMut<T> {}
+
+impl<T> SendMut<T> {
+    /// Wraps a base pointer.
+    pub fn new(ptr: *mut T) -> SendMut<T> {
+        SendMut(ptr)
+    }
+
+    /// Writes `v` into slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds of the allocation and written by exactly one
+    /// task; the slot must be treated as uninitialized (no drop of the old
+    /// value).
+    #[inline]
+    pub unsafe fn write(&self, i: usize, v: T) {
+        self.0.add(i).write(v);
+    }
+
+    /// Raw pointer to slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds; aliasing discipline is the caller's contract.
+    #[inline]
+    pub unsafe fn ptr_at(&self, i: usize) -> *mut T {
+        self.0.add(i)
+    }
+
+    /// Exclusive reference to slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds, initialized, and accessed by exactly one task
+    /// for the lifetime of the returned reference.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        &mut *self.0.add(i)
+    }
+
+    /// Swaps slots… of two *different* `SendMut` views or indices.
+    ///
+    /// # Safety
+    /// Both indices must be in bounds, initialized, distinct, and not
+    /// accessed concurrently by any other task.
+    #[inline]
+    pub unsafe fn swap(&self, a: usize, b: usize) {
+        std::ptr::swap(self.0.add(a), self.0.add(b));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_parallel_writes() {
+        let n = 10_000;
+        let mut v = vec![0u64; n];
+        let p = SendMut::new(v.as_mut_ptr());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    for i in (t..n).step_by(4) {
+                        unsafe { p.write(i, i as u64) };
+                    }
+                });
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64));
+    }
+
+    #[test]
+    fn swap_and_get_mut() {
+        let mut v = vec![1, 2, 3];
+        let p = SendMut::new(v.as_mut_ptr());
+        unsafe {
+            p.swap(0, 2);
+            *p.get_mut(1) = 9;
+            assert_eq!(*p.ptr_at(0), 3);
+        }
+        assert_eq!(v, vec![3, 9, 1]);
+    }
+}

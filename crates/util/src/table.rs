@@ -1,0 +1,163 @@
+//! Plain-text table and CSV emitters for the benchmark harness.
+//!
+//! Every `fig*`/`table*` binary prints an aligned text table mirroring the
+//! paper's rows/series and can additionally write CSV for plotting.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Table {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. The row is padded/truncated to the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as an aligned string.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = width[i] - cell.chars().count();
+                let _ = write!(out, "{}{}", cell, " ".repeat(pad));
+                if i + 1 != ncols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        let rule: usize = width.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (RFC-4180-style quoting for commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let quote = |c: &str| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let emit = |out: &mut String, cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        emit(&mut out, &self.header);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Writes a table as CSV to `path`, creating parent directories as needed.
+pub fn write_csv(table: &Table, path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, table.to_csv())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["short", "1"]);
+        t.row(["a-much-longer-name", "23456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        // All data lines align the second column at the same byte offset.
+        let col = lines[2].find("1").unwrap();
+        assert_eq!(&lines[3][col..col + 1], "2");
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().nth(1).unwrap(), "1,,");
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut t = Table::new(["x"]);
+        t.row(["has,comma"]);
+        t.row(["has\"quote"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn writes_file() {
+        let dir = std::env::temp_dir().join("bdm_util_table_test");
+        let path = dir.join("sub").join("t.csv");
+        let mut t = Table::new(["h"]);
+        t.row(["v"]);
+        write_csv(&t, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "h\nv\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,168 @@
+//! Wall-clock timing helpers.
+//!
+//! The scheduler attributes runtime to operations (paper Figure 5 "operation
+//! runtime breakdown") via [`Timer`]s accumulated into named buckets.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// A simple restartable stopwatch.
+#[derive(Debug, Clone)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts a new stopwatch.
+    pub fn start() -> Timer {
+        Timer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since construction or the last [`Timer::restart`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as `f64`.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Resets the stopwatch and returns the previous elapsed time.
+    pub fn restart(&mut self) -> Duration {
+        let e = self.elapsed();
+        self.start = Instant::now();
+        e
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer::start()
+    }
+}
+
+/// Accumulates wall-clock time into named buckets; used by the scheduler to
+/// produce the operation-runtime breakdown of Figure 5.
+#[derive(Debug, Default, Clone)]
+pub struct TimeBuckets {
+    buckets: BTreeMap<String, Duration>,
+}
+
+impl TimeBuckets {
+    /// Creates an empty set of buckets.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `d` to bucket `name`.
+    pub fn add(&mut self, name: &str, d: Duration) {
+        *self.buckets.entry(name.to_string()).or_default() += d;
+    }
+
+    /// Times the closure and adds the elapsed duration to bucket `name`.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let t = Timer::start();
+        let r = f();
+        self.add(name, t.elapsed());
+        r
+    }
+
+    /// Total accumulated time across all buckets.
+    pub fn total(&self) -> Duration {
+        self.buckets.values().sum()
+    }
+
+    /// Iterates `(name, duration)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Duration)> {
+        self.buckets.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Returns the accumulated time for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Duration> {
+        self.buckets.get(name).copied()
+    }
+
+    /// Fraction of total time spent in `name` (0 if bucket or total is empty).
+    pub fn fraction(&self, name: &str) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.get(name).map_or(0.0, |d| d.as_secs_f64() / total)
+    }
+
+    /// Removes all buckets.
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+    }
+
+    /// Merges another set of buckets into this one.
+    pub fn merge(&mut self, other: &TimeBuckets) {
+        for (name, d) in other.iter() {
+            self.add(name, d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn timer_progresses() {
+        let mut t = Timer::start();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(t.elapsed_secs() >= 0.004);
+        let prev = t.restart();
+        assert!(prev >= Duration::from_millis(4));
+        assert!(t.elapsed() < prev);
+    }
+
+    #[test]
+    fn buckets_accumulate() {
+        let mut b = TimeBuckets::new();
+        b.add("a", Duration::from_millis(10));
+        b.add("a", Duration::from_millis(5));
+        b.add("b", Duration::from_millis(15));
+        assert_eq!(b.get("a"), Some(Duration::from_millis(15)));
+        assert_eq!(b.total(), Duration::from_millis(30));
+        assert!((b.fraction("a") - 0.5).abs() < 1e-9);
+        assert_eq!(b.get("missing"), None);
+        assert_eq!(b.fraction("missing"), 0.0);
+    }
+
+    #[test]
+    fn buckets_time_closure() {
+        let mut b = TimeBuckets::new();
+        let v = b.time("work", || {
+            std::thread::sleep(Duration::from_millis(3));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(b.get("work").unwrap() >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn buckets_merge_and_clear() {
+        let mut a = TimeBuckets::new();
+        a.add("x", Duration::from_millis(1));
+        let mut b = TimeBuckets::new();
+        b.add("x", Duration::from_millis(2));
+        b.add("y", Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.get("x"), Some(Duration::from_millis(3)));
+        assert_eq!(a.get("y"), Some(Duration::from_millis(3)));
+        a.clear();
+        assert_eq!(a.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        let b = TimeBuckets::new();
+        assert_eq!(b.fraction("anything"), 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! SIR epidemic in a randomly moving population (the epidemiology
+//! benchmark). Prints the S/I/R time series — the classic epidemic wave.
+//!
+//! Run with: `cargo run --release --example epidemiology -- [persons] [iterations]`
+
+use biodynamo::models::{BenchmarkModel, Epidemiology};
+use biodynamo::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let persons: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
+    let iterations: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(120);
+
+    let model = Epidemiology::new(persons);
+    let mut sim = model.build(Param::default());
+
+    println!("iteration,susceptible,infected,recovered");
+    for _ in 0..iterations / 5 {
+        sim.simulate(5);
+        let s = sim.count_agents(|a| a.payload() == 0);
+        let i = sim.count_agents(|a| a.payload() == 1);
+        let r = sim.count_agents(|a| a.payload() == 2);
+        println!("{},{},{},{}", sim.iteration(), s, i, r);
+    }
+
+    let attack_rate =
+        sim.count_agents(|a| a.payload() != 0) as f64 / sim.num_agents() as f64;
+    eprintln!("\nfinal attack rate: {:.1}%", attack_rate * 100.0);
+}

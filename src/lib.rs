@@ -1,0 +1,66 @@
+//! # biodynamo
+//!
+//! A high-performance, scalable agent-based simulation engine — a
+//! from-scratch Rust reproduction of
+//!
+//! > *High-Performance and Scalable Agent-Based Simulation with BioDynaMo*,
+//! > Breitwieser et al., PPoPP 2023 (arXiv:2301.06984).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`core`] | engine: agents, behaviors, scheduler, resource manager, forces, sorting, static detection |
+//! | [`env`] | neighbor-search environments: uniform grid, kd-tree, octree |
+//! | [`alloc`] | the NUMA-aware pool memory allocator |
+//! | [`numa`] | virtual NUMA topology + work-stealing thread pool |
+//! | [`sfc`] | Morton/Hilbert curves and the gap-offset enumeration |
+//! | [`diffusion`] | extracellular substance diffusion |
+//! | [`neuro`] | neuron somas, neurite elements, growth cones |
+//! | [`models`] | the five benchmark simulations + cell sorting |
+//! | [`baseline`] | the serial comparator engine |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use biodynamo::prelude::*;
+//!
+//! // 8 cells that grow and divide, full optimizations, 2 threads.
+//! let mut sim = Simulation::new(Param {
+//!     threads: Some(2),
+//!     simulation_time_step: 1.0,
+//!     ..Param::default()
+//! });
+//! for i in 0..8 {
+//!     let uid = sim.new_uid();
+//!     sim.add_agent(
+//!         Cell::new(uid)
+//!             .with_position(Real3::splat(i as f64 * 20.0))
+//!             .with_diameter(10.0),
+//!     );
+//! }
+//! sim.simulate(10);
+//! assert_eq!(sim.num_agents(), 8);
+//! ```
+
+pub use bdm_alloc as alloc;
+pub use bdm_baseline as baseline;
+pub use bdm_core as core;
+pub use bdm_diffusion as diffusion;
+pub use bdm_env as env;
+pub use bdm_models as models;
+pub use bdm_neuro as neuro;
+pub use bdm_numa as numa;
+pub use bdm_sfc as sfc;
+pub use bdm_util as util;
+
+/// The most common imports for building simulations.
+pub mod prelude {
+    pub use bdm_core::{
+        clone_agent_box, clone_behavior_box, new_agent_box, new_behavior_box, Agent, AgentBase,
+        AgentBox, AgentContext, AgentHandle, AgentUid, Behavior, BehaviorBox, BehaviorControl,
+        BoundaryCondition, Cell, CloneIn, CurveKind, DiffusionGrid, EnvironmentKind, InteractionForce,
+        MemoryManager, OptLevel, Param, Real3, SimRng, SimStats, Simulation,
+    };
+    pub use bdm_models::BenchmarkModel;
+}

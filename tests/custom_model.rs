@@ -1,0 +1,160 @@
+//! Integration: building a complete custom simulation against the public
+//! API only (what a downstream user of the library would write) — custom
+//! agent behavior, diffusion-coupled chemotaxis, division, death, and a
+//! standalone operation, across optimization presets.
+
+use biodynamo::core::{clone_behavior_box, new_behavior_box, Behavior, BehaviorBox, BehaviorControl};
+use biodynamo::core::{AgentContext, MemoryManager};
+use biodynamo::prelude::*;
+
+/// A bacterium: secretes an attractant, climbs its gradient, divides when
+/// grown, dies of starvation in crowded areas.
+#[derive(Clone)]
+struct Bacterium {
+    grown: f64,
+}
+
+impl Behavior for Bacterium {
+    fn run(&mut self, agent: &mut dyn Agent, ctx: &mut AgentContext<'_>) -> BehaviorControl {
+        let pos = agent.position();
+        // Secrete attractant and climb its gradient.
+        ctx.secrete(0, pos, 1.0);
+        let gradient = ctx.substance(0).gradient_at(pos);
+        let norm = gradient.norm();
+        if norm > 1e-12 {
+            agent.set_position(pos + gradient * (2.0 / norm).min(20.0) * ctx.dt);
+        }
+        // Starve in overcrowded regions.
+        let crowd = ctx.count_neighbors(pos, 8.0, |_| true);
+        if crowd > 14 && ctx.rng.chance(0.3) {
+            ctx.remove_self();
+            return BehaviorControl::Keep;
+        }
+        // Grow and divide.
+        self.grown += ctx.dt;
+        if self.grown > 4.0 {
+            self.grown = 0.0;
+            let uid = ctx.next_uid();
+            let dir = ctx.rng.unit_vector();
+            ctx.new_agent(
+                Cell::new(uid)
+                    .with_position(pos + dir * 3.0)
+                    .with_diameter(agent.diameter()),
+            );
+        }
+        BehaviorControl::Keep
+    }
+    fn clone_behavior(&self, mm: &MemoryManager, domain: usize) -> BehaviorBox {
+        clone_behavior_box(self, mm, domain)
+    }
+    fn name(&self) -> &'static str {
+        "Bacterium"
+    }
+}
+
+fn build(param: Param) -> Simulation {
+    let mut param = param;
+    param.simulation_time_step = 1.0;
+    param.interaction_radius = Some(10.0);
+    let mut sim = Simulation::new(param);
+    sim.add_diffusion_grid(DiffusionGrid::new("attractant", 0.2, 0.01, 16, Real3::ZERO, 120.0));
+    let mut rng = SimRng::new(11);
+    for _ in 0..80 {
+        let uid = sim.new_uid();
+        let mut cell = Cell::new(uid)
+            .with_position(rng.point_in_cube(20.0, 100.0))
+            .with_diameter(5.0);
+        cell.base_mut()
+            .add_behavior(new_behavior_box(Bacterium { grown: 0.0 }, sim.memory_manager(), 0));
+        sim.add_agent(cell);
+    }
+    sim
+}
+
+#[test]
+fn custom_model_lifecycle() {
+    let mut sim = build(Param {
+        threads: Some(2),
+        numa_domains: Some(2),
+        ..Param::default()
+    });
+    sim.simulate(12);
+    let stats = sim.stats();
+    assert!(stats.agents_added > 0, "divisions: {stats:?}");
+    assert!(sim.num_agents() > 0);
+    // Secretion ended up in the grid.
+    assert!(sim.diffusion_grid(0).total() > 0.0);
+    sim.for_each_agent(|_, a| assert!(a.position().is_finite()));
+}
+
+#[test]
+fn custom_model_runs_under_all_presets() {
+    for level in OptLevel::ALL {
+        let param = Param {
+            threads: Some(2),
+            numa_domains: Some(2),
+            ..Param::default()
+        }
+        .apply_opt_level(level);
+        let mut sim = build(param);
+        sim.simulate(8);
+        assert!(sim.num_agents() > 0, "{level:?}");
+    }
+}
+
+#[test]
+fn standalone_op_observes_every_iteration() {
+    let mut sim = build(Param {
+        threads: Some(2),
+        numa_domains: Some(1),
+        ..Param::default()
+    });
+    let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let c = counter.clone();
+    sim.add_standalone_op("census", 1, Box::new(move |sim| {
+        assert!(sim.num_agents() > 0);
+        c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }));
+    sim.simulate(7);
+    assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 7);
+}
+
+#[test]
+fn standalone_op_frequency_is_honored() {
+    let mut sim = build(Param {
+        threads: Some(1),
+        numa_domains: Some(1),
+        ..Param::default()
+    });
+    let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let c = counter.clone();
+    sim.add_standalone_op("sparse", 3, Box::new(move |_| {
+        c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }));
+    sim.simulate(10); // fires on iterations 3, 6, 9
+    assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 3);
+}
+
+#[test]
+fn chemotaxis_aggregates_population() {
+    // Self-attracting walkers must cluster: the mean pairwise distance
+    // shrinks over time.
+    let spread = |sim: &Simulation| {
+        let mut positions = Vec::new();
+        sim.for_each_agent(|_, a| positions.push(a.position()));
+        let center = positions.iter().fold(Real3::ZERO, |acc, p| acc + *p) / positions.len() as f64;
+        positions.iter().map(|p| p.distance(&center)).sum::<f64>() / positions.len() as f64
+    };
+    let mut sim = build(Param {
+        threads: Some(2),
+        numa_domains: Some(1),
+        ..Param::default()
+    });
+    let before = spread(&sim);
+    sim.simulate(25);
+    let after = spread(&sim);
+    assert!(
+        after < before,
+        "attractant-climbing must aggregate: {before:.1} -> {after:.1}"
+    );
+}

@@ -1,0 +1,219 @@
+//! Integration: edge cases and failure injection — empty simulations,
+//! mass extinction, explosive growth, degenerate geometry, and allocator
+//! pressure. The engine must never panic or corrupt state.
+
+use biodynamo::core::{clone_behavior_box, new_behavior_box, Behavior, BehaviorBox, BehaviorControl};
+use biodynamo::core::{AgentContext, MemoryManager};
+use biodynamo::prelude::*;
+
+fn small_param() -> Param {
+    Param {
+        threads: Some(2),
+        numa_domains: Some(2),
+        ..Param::default()
+    }
+}
+
+#[test]
+fn empty_simulation_steps() {
+    let mut sim = Simulation::new(small_param());
+    sim.simulate(5);
+    assert_eq!(sim.num_agents(), 0);
+    assert_eq!(sim.iteration(), 5);
+}
+
+/// Behavior that removes its agent on a chosen iteration.
+#[derive(Clone)]
+struct DieAt(u64);
+
+impl Behavior for DieAt {
+    fn run(&mut self, _agent: &mut dyn Agent, ctx: &mut AgentContext<'_>) -> BehaviorControl {
+        if ctx.iteration >= self.0 {
+            ctx.remove_self();
+        }
+        BehaviorControl::Keep
+    }
+    fn clone_behavior(&self, mm: &MemoryManager, domain: usize) -> BehaviorBox {
+        clone_behavior_box(self, mm, domain)
+    }
+    fn name(&self) -> &'static str {
+        "DieAt"
+    }
+}
+
+#[test]
+fn mass_extinction_in_one_iteration() {
+    // All agents removed in the same commit exercises the full swap
+    // machinery of paper Figure 1 with new_size = 0.
+    for parallel in [false, true] {
+        let mut param = small_param();
+        param.parallel_add_remove = parallel;
+        let mut sim = Simulation::new(param);
+        for i in 0..97 {
+            let uid = sim.new_uid();
+            let mut cell = Cell::new(uid).with_position(Real3::splat(i as f64 * 15.0));
+            cell.base_mut()
+                .add_behavior(new_behavior_box(DieAt(2), sim.memory_manager(), 0));
+            sim.add_agent(cell);
+        }
+        sim.simulate(4);
+        assert_eq!(sim.num_agents(), 0, "parallel={parallel}");
+        assert_eq!(sim.stats().agents_removed, 97);
+        // The engine keeps running fine after extinction.
+        sim.simulate(3);
+        assert_eq!(sim.num_agents(), 0);
+    }
+}
+
+/// Behavior that spawns `n` children on the first iteration.
+#[derive(Clone)]
+struct SpawnBurst(usize);
+
+impl Behavior for SpawnBurst {
+    fn run(&mut self, agent: &mut dyn Agent, ctx: &mut AgentContext<'_>) -> BehaviorControl {
+        if ctx.iteration == 1 {
+            for k in 0..self.0 {
+                let uid = ctx.next_uid();
+                ctx.new_agent(
+                    Cell::new(uid)
+                        .with_position(agent.position() + Real3::splat(0.5 + k as f64))
+                        .with_diameter(2.0),
+                );
+            }
+            BehaviorControl::RemoveSelf
+        } else {
+            BehaviorControl::Keep
+        }
+    }
+    fn clone_behavior(&self, mm: &MemoryManager, domain: usize) -> BehaviorBox {
+        clone_behavior_box(self, mm, domain)
+    }
+    fn name(&self) -> &'static str {
+        "SpawnBurst"
+    }
+}
+
+#[test]
+fn explosive_growth_commits_in_parallel() {
+    let mut sim = Simulation::new(small_param());
+    for i in 0..8 {
+        let uid = sim.new_uid();
+        let mut cell = Cell::new(uid).with_position(Real3::splat(i as f64 * 100.0));
+        cell.base_mut()
+            .add_behavior(new_behavior_box(SpawnBurst(50), sim.memory_manager(), 0));
+        sim.add_agent(cell);
+    }
+    sim.simulate(2);
+    assert_eq!(sim.num_agents(), 8 + 8 * 50);
+    assert_eq!(sim.stats().agents_added, 400);
+    // Children are visible to later iterations (they participate in ops).
+    sim.simulate(1);
+    assert_eq!(sim.num_agents(), 408);
+}
+
+#[test]
+fn single_agent_simulation() {
+    let mut sim = Simulation::new(small_param());
+    let uid = sim.new_uid();
+    sim.add_agent(Cell::new(uid).with_diameter(10.0));
+    sim.simulate(10);
+    assert_eq!(sim.num_agents(), 1);
+    sim.for_each_agent(|_, a| assert!(a.position().is_finite()));
+}
+
+#[test]
+fn coincident_agents_do_not_explode() {
+    // All agents at exactly the same point: the force law must not produce
+    // NaN (zero-distance guard) and max_displacement caps the separation.
+    let mut sim = Simulation::new(small_param());
+    for _ in 0..20 {
+        let uid = sim.new_uid();
+        sim.add_agent(Cell::new(uid).with_position(Real3::splat(50.0)).with_diameter(10.0));
+    }
+    sim.simulate(5);
+    sim.for_each_agent(|_, a| {
+        assert!(a.position().is_finite(), "position exploded: {:?}", a.position());
+        assert!(
+            a.position().distance(&Real3::splat(50.0)) < 100.0,
+            "displacement must stay capped"
+        );
+    });
+}
+
+#[test]
+fn zero_iterations_is_a_noop() {
+    let model = biodynamo::models::CellClustering::new(60);
+    let mut sim = model.build(small_param());
+    let before = sim.num_agents();
+    sim.simulate(0);
+    assert_eq!(sim.num_agents(), before);
+    assert_eq!(sim.iteration(), 0);
+}
+
+#[test]
+fn extreme_sort_frequency_is_safe() {
+    // Sorting every iteration including while agents are added/removed.
+    let model = biodynamo::models::Oncology::new(120);
+    let mut param = small_param();
+    param.agent_sort_frequency = Some(1);
+    param.sort_use_extra_memory = true;
+    let mut sim = model.build(param);
+    sim.simulate(15);
+    assert!(sim.num_agents() > 0);
+    assert!(sim.stats().sorts > 0);
+    // Uids remain unique after repeated relocation.
+    let mut uids: Vec<u64> = Vec::new();
+    sim.for_each_agent(|_, a| uids.push(a.uid().0));
+    uids.sort_unstable();
+    let before = uids.len();
+    uids.dedup();
+    assert_eq!(uids.len(), before, "duplicate uids after sorting");
+}
+
+#[test]
+fn more_domains_than_needed_is_clamped_safely() {
+    // 4 virtual domains on 4 threads with only 3 agents: some domains own
+    // zero agents; iteration and sorting must handle empty domains.
+    let mut param = Param {
+        threads: Some(4),
+        numa_domains: Some(4),
+        agent_sort_frequency: Some(2),
+        ..Param::default()
+    };
+    param.sort_use_extra_memory = true;
+    let mut sim = Simulation::new(param);
+    for i in 0..3 {
+        let uid = sim.new_uid();
+        sim.add_agent(Cell::new(uid).with_position(Real3::splat(i as f64 * 30.0)));
+    }
+    sim.simulate(6);
+    assert_eq!(sim.num_agents(), 3);
+}
+
+#[test]
+fn allocator_survives_churn() {
+    // Repeated create/destroy cycles stress pool reuse (free-list
+    // migrations between thread-private and central lists, Figure 4B).
+    let mut sim = Simulation::new(small_param());
+    for round in 0..5u64 {
+        for i in 0..60 {
+            let uid = sim.new_uid();
+            let mut cell = Cell::new(uid).with_position(Real3::splat(i as f64 * 12.0));
+            cell.base_mut().add_behavior(new_behavior_box(
+                DieAt(round * 3 + 2),
+                sim.memory_manager(),
+                0,
+            ));
+            sim.add_agent(cell);
+        }
+        sim.simulate(3);
+    }
+    sim.simulate(3);
+    assert_eq!(sim.num_agents(), 0);
+    let stats = sim.memory_stats();
+    assert!(stats.pool_deallocations > 0);
+    assert!(
+        stats.pool_deallocations <= stats.pool_allocations,
+        "{stats:?}"
+    );
+}
