@@ -197,6 +197,11 @@ impl CentralFreeList {
         self.open.len() + self.full.len() * CHUNK_SIZE
     }
 
+    /// Whether the list holds no free nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Pushes one free element (deallocation from a foreign thread).
     ///
     /// # Safety
@@ -211,7 +216,8 @@ impl CentralFreeList {
 
     /// Accepts whole chunks in O(chunks).
     pub fn push_chunks(&mut self, chunks: Vec<Chunk>) {
-        self.full.extend(chunks.into_iter().filter(|c| !c.is_empty()));
+        self.full
+            .extend(chunks.into_iter().filter(|c| !c.is_empty()));
     }
 
     /// Pops a whole chunk if available, else whatever partial content exists.
@@ -236,7 +242,9 @@ impl Default for CentralFreeList {
 mod tests {
     use super::*;
 
-    /// Backing store for list nodes in tests.
+    /// Backing store for list nodes in tests. `Box` keeps node addresses
+    /// stable while the outer vec moves.
+    #[allow(clippy::vec_box)]
     fn arena(n: usize) -> Vec<Box<[u8; 16]>> {
         (0..n).map(|_| Box::new([0u8; 16])).collect()
     }

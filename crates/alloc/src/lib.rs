@@ -21,7 +21,7 @@ pub mod manager;
 pub mod pool_allocator;
 pub mod pool_box;
 
-pub use config::{register_thread, unregister_thread, segment_size, PAGE_SIZE};
+pub use config::{register_thread, segment_size, unregister_thread, PAGE_SIZE};
 pub use manager::{MemoryManager, MemoryStats};
 pub use pool_allocator::{NumaPoolAllocator, PoolConfig};
 pub use pool_box::PoolBox;

@@ -42,6 +42,7 @@ pub struct MemoryManager {
     use_pool: bool,
     /// size class -> one allocator per NUMA domain. `Box` keeps allocator
     /// addresses stable; segment back-pointers refer to them.
+    #[allow(clippy::vec_box)]
     classes: RwLock<HashMap<usize, Vec<Box<NumaPoolAllocator>>>>,
     system_allocations: AtomicU64,
 }

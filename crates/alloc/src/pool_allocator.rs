@@ -23,9 +23,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::config::{
-    current_thread_slot, segment_mask, segment_size, SEGMENT_METADATA_SIZE,
-};
+use crate::config::{current_thread_slot, segment_mask, segment_size, SEGMENT_METADATA_SIZE};
 use crate::free_list::{CentralFreeList, Chunk, LocalFreeList, CHUNK_SIZE};
 
 /// Tuning knobs of the pool allocator (paper parameters).
@@ -116,7 +114,7 @@ impl NumaPoolAllocator {
         thread_slots: usize,
         config: PoolConfig,
     ) -> NumaPoolAllocator {
-        assert!(element_size >= 16 && element_size % 16 == 0);
+        assert!(element_size >= 16 && element_size.is_multiple_of(16));
         assert!(
             element_size <= crate::config::max_pool_element_size(),
             "element size {element_size} exceeds pool maximum"
@@ -181,7 +179,8 @@ impl NumaPoolAllocator {
             central.free.push_chunks(vec![chunk]);
             return p;
         }
-        let mut chunk = Self::carve_chunk(&mut central.bump, self.element_size, self, &self.reserved);
+        let mut chunk =
+            Self::carve_chunk(&mut central.bump, self.element_size, self, &self.reserved);
         let p = chunk.pop().expect("carve produced at least one element");
         central.free.push_chunks(vec![chunk]);
         p
@@ -438,7 +437,10 @@ mod tests {
             unsafe { a.dealloc(p) };
         }
         let (_, _, _, migrations) = a.counters();
-        assert!(migrations > 0, "bulk migration to the central list happened");
+        assert!(
+            migrations > 0,
+            "bulk migration to the central list happened"
+        );
         crate::config::unregister_thread();
     }
 
@@ -466,12 +468,7 @@ mod tests {
 
     #[test]
     fn concurrent_alloc_dealloc_stress() {
-        let a = std::sync::Arc::new(NumaPoolAllocator::new(
-            48,
-            0,
-            4,
-            PoolConfig::default(),
-        ));
+        let a = std::sync::Arc::new(NumaPoolAllocator::new(48, 0, 4, PoolConfig::default()));
         let mut handles = Vec::new();
         for slot in 0..4 {
             let a = std::sync::Arc::clone(&a);
@@ -481,7 +478,7 @@ mod tests {
                 let mut state = (slot as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
                 for i in 0..20_000 {
                     state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                    if live.is_empty() || state % 3 != 0 {
+                    if live.is_empty() || !state.is_multiple_of(3) {
                         let p = a.alloc(Some(slot));
                         // Write a pattern to catch overlapping elements.
                         unsafe { (p as *mut u64).write(i as u64) };

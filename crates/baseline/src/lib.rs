@@ -222,11 +222,7 @@ impl BaselineEngine {
             for dz in -1i64..=1 {
                 for dy in -1i64..=1 {
                     for dx in -1i64..=1 {
-                        let (x, y, z) = (
-                            bc[0] as i64 + dx,
-                            bc[1] as i64 + dy,
-                            bc[2] as i64 + dz,
-                        );
+                        let (x, y, z) = (bc[0] as i64 + dx, bc[1] as i64 + dy, bc[2] as i64 + dz);
                         if x < 0
                             || y < 0
                             || z < 0
@@ -259,8 +255,8 @@ impl BaselineEngine {
         // Rules (take/put to satisfy the borrow checker).
         let mut rules = std::mem::take(&mut self.rules);
         for rule in rules.iter_mut() {
-            for i in 0..self.agents.len() {
-                rule(i, &mut self.agents, &lists[i], &mut self.rng, &mut births);
+            for (i, neighbors) in lists.iter().enumerate() {
+                rule(i, &mut self.agents, neighbors, &mut self.rng, &mut births);
             }
         }
         self.rules = rules;
@@ -378,9 +374,7 @@ pub fn epidemiology(seed: u64, n: usize) -> BaselineEngine {
         // Infection dynamics.
         match agents[i].state {
             0 => {
-                let infected_near = nb
-                    .iter()
-                    .any(|&j| agents[j as usize].state == 1);
+                let infected_near = nb.iter().any(|&j| agents[j as usize].state == 1);
                 if infected_near && rng.chance(0.3) {
                     agents[i].state = 1;
                     agents[i].aux = 0.0;
@@ -419,8 +413,8 @@ pub fn clustering(seed: u64, n: usize) -> BaselineEngine {
         let ty = agents[i].state;
         let pos = agents[i].position;
         let _ = (ty, pos); // secretion + chemotaxis handled below via engine
-        // state; this rule is a placeholder for per-agent work (position
-        // jitter keeps the workload comparable).
+                           // state; this rule is a placeholder for per-agent work (position
+                           // jitter keeps the workload comparable).
         agents[i].aux += 1.0;
     }));
     e
@@ -622,7 +616,7 @@ mod tests {
             e.add_agent(BaselineAgent::new(rng.point_in_cube(0.0, 30.0), 2.0, 0));
         }
         let lists = e.build_neighbor_lists();
-        for i in 0..e.num_agents() {
+        for (i, list) in lists.iter().enumerate() {
             let mut expected: Vec<u32> = (0..e.num_agents() as u32)
                 .filter(|&j| {
                     j as usize != i
@@ -633,7 +627,7 @@ mod tests {
                 })
                 .collect();
             expected.sort_unstable();
-            let mut got = lists[i].clone();
+            let mut got = list.clone();
             got.sort_unstable();
             assert_eq!(got, expected, "agent {i}");
         }
@@ -680,7 +674,12 @@ mod tests {
         let mut e = neurite_growth(5, 12);
         let initial = e.num_agents();
         e.simulate(25, 1.0);
-        assert!(e.num_agents() > initial * 2, "{} > {}", e.num_agents(), initial);
+        assert!(
+            e.num_agents() > initial * 2,
+            "{} > {}",
+            e.num_agents(),
+            initial
+        );
         // Trail spheres outnumber cones: the arbor is mostly static.
         let trails = e.agents.iter().filter(|a| a.state == 1).count();
         let cones = e.agents.iter().filter(|a| a.state == 2).count();

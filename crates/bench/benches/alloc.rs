@@ -108,5 +108,10 @@ fn bench_size_classes(c: &mut Criterion) {
     bdm_alloc::unregister_thread();
 }
 
-criterion_group!(benches, bench_alloc_free, bench_growth_rate, bench_size_classes);
+criterion_group!(
+    benches,
+    bench_alloc_free,
+    bench_growth_rate,
+    bench_size_classes
+);
 criterion_main!(benches);

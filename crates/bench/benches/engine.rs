@@ -59,7 +59,10 @@ fn bench_standard_vs_optimized(c: &mut Criterion) {
     let mut group = c.benchmark_group("oncology_iteration_by_preset");
     group.sample_size(10);
     let model = model_by_name("oncology", 2_000).expect("model");
-    for (label, level) in [("standard", OptLevel::Standard), ("optimized", OptLevel::StaticDetection)] {
+    for (label, level) in [
+        ("standard", OptLevel::Standard),
+        ("optimized", OptLevel::StaticDetection),
+    ] {
         let param = Param {
             threads: Some(2),
             numa_domains: Some(2),

@@ -19,7 +19,9 @@ fn busy_work(iters: u64) -> u64 {
 }
 
 fn bench_scheduling(c: &mut Criterion) {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let domains = 2.min(threads);
     let pool = NumaThreadPool::new(NumaTopology::new(domains, threads));
     let sizes = vec![40_000usize / domains; domains];
@@ -114,5 +116,10 @@ fn bench_prefix_sum(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_scheduling, bench_dispatch_overhead, bench_prefix_sum);
+criterion_group!(
+    benches,
+    bench_scheduling,
+    bench_dispatch_overhead,
+    bench_prefix_sum
+);
 criterion_main!(benches);

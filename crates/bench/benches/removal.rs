@@ -28,8 +28,8 @@ impl Fixture {
         let mut rm = ResourceManager::new(DOMAINS);
         let mut handles = Vec::with_capacity(n);
         for i in 0..n {
-            let cell = Cell::new(bdm_core::AgentUid(i as u64 + 1))
-                .with_position(Real3::splat(i as f64));
+            let cell =
+                Cell::new(bdm_core::AgentUid(i as u64 + 1)).with_position(Real3::splat(i as f64));
             let handle = rm.push(i % DOMAINS, new_agent_box(cell, &self.mm, i % DOMAINS), 0);
             handles.push(handle);
         }
@@ -52,8 +52,9 @@ fn bench_removal(c: &mut Criterion) {
                     b.iter_batched(
                         || {
                             let (rm, handles) = fixture.filled(n);
-                            let mut ctxs: Vec<ExecutionContext> =
-                                (0..THREADS).map(|_| ExecutionContext::new(DOMAINS)).collect();
+                            let mut ctxs: Vec<ExecutionContext> = (0..THREADS)
+                                .map(|_| ExecutionContext::new(DOMAINS))
+                                .collect();
                             // Spread removals across the thread contexts the
                             // way the agent-op phase would.
                             for (k, handle) in handles.iter().step_by(n / remove).enumerate() {
@@ -85,8 +86,9 @@ fn bench_addition(c: &mut Criterion) {
             b.iter_batched(
                 || {
                     let (rm, _) = fixture.filled(n);
-                    let mut ctxs: Vec<ExecutionContext> =
-                        (0..THREADS).map(|_| ExecutionContext::new(DOMAINS)).collect();
+                    let mut ctxs: Vec<ExecutionContext> = (0..THREADS)
+                        .map(|_| ExecutionContext::new(DOMAINS))
+                        .collect();
                     for i in 0..added {
                         let cell = Cell::new(bdm_core::AgentUid(1_000_000 + i as u64));
                         ctxs[i % THREADS].queue_new_agent(

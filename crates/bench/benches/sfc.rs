@@ -8,14 +8,18 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use bdm_sfc::{
-    hilbert3_decode, hilbert3_encode, morton3_decode, morton3_encode, GapOffsets,
-};
+use bdm_sfc::{hilbert3_decode, hilbert3_encode, morton3_decode, morton3_encode, GapOffsets};
 
 fn bench_codecs(c: &mut Criterion) {
     let mut group = c.benchmark_group("sfc_codec");
     let coords: Vec<(u32, u32, u32)> = (0..1024u32)
-        .map(|i| (i.wrapping_mul(7) % 1024, i.wrapping_mul(13) % 1024, i.wrapping_mul(29) % 1024))
+        .map(|i| {
+            (
+                i.wrapping_mul(7) % 1024,
+                i.wrapping_mul(13) % 1024,
+                i.wrapping_mul(29) % 1024,
+            )
+        })
         .collect();
     group.bench_function("morton3_encode_1024", |b| {
         b.iter(|| {
@@ -35,7 +39,10 @@ fn bench_codecs(c: &mut Criterion) {
             black_box(acc)
         })
     });
-    let codes: Vec<u64> = coords.iter().map(|&(x, y, z)| morton3_encode(x, y, z)).collect();
+    let codes: Vec<u64> = coords
+        .iter()
+        .map(|&(x, y, z)| morton3_encode(x, y, z))
+        .collect();
     group.bench_function("morton3_decode_1024", |b| {
         b.iter(|| {
             let mut acc = 0u32;
@@ -74,20 +81,24 @@ fn bench_gap_offsets(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("dfs", &label), &(nx, ny, nz), |b, _| {
             b.iter(|| black_box(GapOffsets::compute_3d(nx, ny, nz)))
         });
-        group.bench_with_input(BenchmarkId::new("naive_scan", &label), &(nx, ny, nz), |b, _| {
-            let side = nx.max(ny).max(nz).next_power_of_two() as u64;
-            b.iter(|| {
-                // Enumerate in-domain boxes by scanning all side³ codes.
-                let mut in_domain = 0u64;
-                for code in 0..side * side * side {
-                    let (x, y, z) = morton3_decode(code);
-                    if x < nx && y < ny && z < nz {
-                        in_domain += 1;
+        group.bench_with_input(
+            BenchmarkId::new("naive_scan", &label),
+            &(nx, ny, nz),
+            |b, _| {
+                let side = nx.max(ny).max(nz).next_power_of_two() as u64;
+                b.iter(|| {
+                    // Enumerate in-domain boxes by scanning all side³ codes.
+                    let mut in_domain = 0u64;
+                    for code in 0..side * side * side {
+                        let (x, y, z) = morton3_decode(code);
+                        if x < nx && y < ny && z < nz {
+                            in_domain += 1;
+                        }
                     }
-                }
-                black_box(in_domain)
-            })
-        });
+                    black_box(in_domain)
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -123,7 +134,12 @@ fn bench_curve_enumeration(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("hilbert_sort", &label), &(), |b, _| {
-            let bits = nx.max(ny).max(nz).next_power_of_two().trailing_zeros().max(1);
+            let bits = nx
+                .max(ny)
+                .max(nz)
+                .next_power_of_two()
+                .trailing_zeros()
+                .max(1);
             b.iter(|| {
                 let mut keyed: Vec<(u64, u64)> = Vec::with_capacity((nx * ny * nz) as usize);
                 for z in 0..nz {

@@ -127,12 +127,16 @@ impl Args {
                 other => return Err(format!("unexpected argument: {other}")),
             }
         }
-        let parse_usize = |values: &BTreeMap<String, String>, key: &str| -> Result<Option<usize>, String> {
-            values
-                .get(key)
-                .map(|v| v.parse::<usize>().map_err(|_| format!("--{key}: not a number: {v}")))
-                .transpose()
-        };
+        let parse_usize =
+            |values: &BTreeMap<String, String>, key: &str| -> Result<Option<usize>, String> {
+                values
+                    .get(key)
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .map_err(|_| format!("--{key}: not a number: {v}"))
+                    })
+                    .transpose()
+            };
         args.agents = parse_usize(&values, "agents")?;
         args.iterations = parse_usize(&values, "iterations")?;
         args.threads = parse_usize(&values, "threads")?;
@@ -141,10 +145,15 @@ impl Args {
             args.repeats = r.max(1);
         }
         if let Some(v) = values.get("seed") {
-            args.seed = v.parse().map_err(|_| format!("--seed: not a number: {v}"))?;
+            args.seed = v
+                .parse()
+                .map_err(|_| format!("--seed: not a number: {v}"))?;
         }
         if let Some(v) = values.get("max-exp") {
-            args.max_exp = Some(v.parse().map_err(|_| format!("--max-exp: not a number: {v}"))?);
+            args.max_exp = Some(
+                v.parse()
+                    .map_err(|_| format!("--max-exp: not a number: {v}"))?,
+            );
         }
         if let Some(v) = values.get("out") {
             args.out_dir = PathBuf::from(v);
@@ -153,7 +162,14 @@ impl Args {
             args.models = Some(v.split(',').map(|s| s.trim().to_string()).collect());
         }
         let known = [
-            "agents", "iterations", "threads", "domains", "repeats", "seed", "max-exp", "out",
+            "agents",
+            "iterations",
+            "threads",
+            "domains",
+            "repeats",
+            "seed",
+            "max-exp",
+            "out",
             "models",
         ];
         for key in values.keys() {
@@ -183,13 +199,17 @@ impl Args {
     /// Default agent count for the five-model comparisons, honoring
     /// `--agents` and `--quick`.
     pub fn scale(&self, default: usize) -> usize {
-        self.agents.unwrap_or(if self.quick { default / 4 } else { default })
+        self.agents
+            .unwrap_or(if self.quick { default / 4 } else { default })
     }
 
     /// Default iteration count, honoring `--iterations` and `--quick`.
     pub fn iters(&self, default: usize) -> usize {
-        self.iterations
-            .unwrap_or(if self.quick { (default / 2).max(2) } else { default })
+        self.iterations.unwrap_or(if self.quick {
+            (default / 2).max(2)
+        } else {
+            default
+        })
     }
 }
 
@@ -213,8 +233,8 @@ mod tests {
 
     #[test]
     fn flags_and_values() {
-        let a = parse("--agents 5000 --iterations 20 --csv --threads 2 --domains 4 --seed 7")
-            .unwrap();
+        let a =
+            parse("--agents 5000 --iterations 20 --csv --threads 2 --domains 4 --seed 7").unwrap();
         assert_eq!(a.agents, Some(5000));
         assert_eq!(a.iterations, Some(20));
         assert!(a.csv);

@@ -25,7 +25,9 @@ fn main() {
 
     let agents = args.scale(8_000);
     let iterations = args.iters(30);
-    println!("agents={agents} iterations={iterations} (paper: 2M-12.6M agents, 288-1000 iterations)\n");
+    println!(
+        "agents={agents} iterations={iterations} (paper: 2M-12.6M agents, 288-1000 iterations)\n"
+    );
 
     let mut table = Table::new([
         "model",

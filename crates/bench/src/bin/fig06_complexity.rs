@@ -41,7 +41,9 @@ fn main() {
 
     let max_exp = args.max_exp.unwrap_or(if args.quick { 4 } else { 5 });
     let iterations = args.iters(10);
-    println!("sweep: 10^3 .. 10^{max_exp} agents, {iterations} iterations each (paper: 10^3 .. 10^9)\n");
+    println!(
+        "sweep: 10^3 .. 10^{max_exp} agents, {iterations} iterations each (paper: 10^3 .. 10^9)\n"
+    );
 
     let mut table = Table::new(["model", "agents", "s/iteration", "peak memory"]);
     let mut slope_rows = Vec::new();

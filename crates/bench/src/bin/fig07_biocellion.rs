@@ -40,9 +40,11 @@ fn main() {
 
     let agents = args.scale(20_000);
     let iterations = args.iters(30);
-    let threads = args
-        .threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let threads = args.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
 
     // ---- Figure 7a: visual agreement check. ----
     if args.visualize {
@@ -56,8 +58,12 @@ fn main() {
         let before = bdm_models::same_type_neighbor_fraction(&sim, 15.0, 400);
         sim.simulate(iterations.max(30));
         let after = bdm_models::same_type_neighbor_fraction(&sim, 15.0, 400);
-        let path = emit_raw(&dump_positions_csv(&sim), "fig07a_cell_sorting_points.csv", &args)
-            .expect("write point cloud");
+        let path = emit_raw(
+            &dump_positions_csv(&sim),
+            "fig07a_cell_sorting_points.csv",
+            &args,
+        )
+        .expect("write point cloud");
         println!(
             "Figure 7a: {} cells, same-type neighbor fraction {:.3} -> {:.3} \
              (random mix = 0.5, sorted -> 1.0)\n           point cloud: {}\n",

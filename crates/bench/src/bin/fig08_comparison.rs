@@ -21,20 +21,55 @@ use bdm_util::{median, Table};
 fn main() {
     bdm_bench::child_guard();
     let args = Args::parse();
-    header("Figure 8: comparison with Cortex3D and NetLogo (serial baseline)", &args);
+    header(
+        "Figure 8: comparison with Cortex3D and NetLogo (serial baseline)",
+        &args,
+    );
 
     // (figure label, model, agents, iterations, single-thread?)
     let scale = |n: usize| if args.quick { n / 4 } else { n };
     let benchmarks: Vec<(&str, &str, usize, usize, bool)> = vec![
-        ("cell growth (small)", "cell_proliferation", scale(2_000), args.iters(10), true),
-        ("neurite growth (small)", "neuroscience", scale(3_000), args.iters(10), true),
-        ("soma clustering (small)", "cell_clustering", scale(4_000), args.iters(10), true),
-        ("cell sorting (small)", "cell_sorting", scale(4_000), args.iters(10), true),
-        ("epidemiology (medium)", "epidemiology", scale(30_000), args.iters(10), false),
+        (
+            "cell growth (small)",
+            "cell_proliferation",
+            scale(2_000),
+            args.iters(10),
+            true,
+        ),
+        (
+            "neurite growth (small)",
+            "neuroscience",
+            scale(3_000),
+            args.iters(10),
+            true,
+        ),
+        (
+            "soma clustering (small)",
+            "cell_clustering",
+            scale(4_000),
+            args.iters(10),
+            true,
+        ),
+        (
+            "cell sorting (small)",
+            "cell_sorting",
+            scale(4_000),
+            args.iters(10),
+            true,
+        ),
+        (
+            "epidemiology (medium)",
+            "epidemiology",
+            scale(30_000),
+            args.iters(10),
+            false,
+        ),
     ];
-    let all_threads = args
-        .threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let all_threads = args.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
 
     let mut table = Table::new([
         "benchmark",

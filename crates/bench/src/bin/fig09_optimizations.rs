@@ -17,7 +17,10 @@ use bdm_util::{median, Table};
 fn main() {
     bdm_bench::child_guard();
     let args = Args::parse();
-    header("Figure 9: optimization ladder (speedup and memory vs standard)", &args);
+    header(
+        "Figure 9: optimization ladder (speedup and memory vs standard)",
+        &args,
+    );
 
     let agents = args.scale(8_000);
     // Long enough for the sorting frequency (10) of the memory-layout

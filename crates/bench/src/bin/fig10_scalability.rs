@@ -20,9 +20,11 @@ use bdm_util::Table;
 /// Thread counts to sweep: powers of two up to the available parallelism,
 /// always including the maximum itself.
 fn thread_sweep(args: &Args) -> Vec<usize> {
-    let max = args
-        .threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let max = args.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
     let mut sweep = Vec::new();
     let mut t = 1;
     while t < max {
@@ -40,15 +42,20 @@ fn main() {
     let sweep = thread_sweep(&args);
 
     if args.whole {
-        header("Figure 10a: whole-simulation strong scaling (full optimizations)", &args);
+        header(
+            "Figure 10a: whole-simulation strong scaling (full optimizations)",
+            &args,
+        );
         let agents = args.scale(6_000);
         let mut table = Table::new(["model", "threads", "s/iteration", "speedup", "efficiency"]);
         let mut last_effs = Vec::new();
         for name in args.selected_models() {
             let model = bdm_bench::model_or_die(&name, agents);
-            let iterations = args
-                .iterations
-                .unwrap_or_else(|| model.default_iterations().min(if args.quick { 10 } else { 40 }));
+            let iterations = args.iterations.unwrap_or_else(|| {
+                model
+                    .default_iterations()
+                    .min(if args.quick { 10 } else { 40 })
+            });
             let mut serial = None;
             for &threads in &sweep {
                 let spec = RunSpec::new(&name, agents, iterations)
@@ -82,7 +89,10 @@ fn main() {
         return;
     }
 
-    header("Figures 10c-g: strong scaling x optimization ladder (10 iterations)", &args);
+    header(
+        "Figures 10c-g: strong scaling x optimization ladder (10 iterations)",
+        &args,
+    );
     let agents = args.scale(8_000);
     let iterations = args.iters(10);
     // The ladder subset plotted in the paper's per-model panels.

@@ -24,9 +24,11 @@ fn main() {
 
     let agents = args.scale(20_000);
     let iterations = args.iters(10);
-    let max_threads = args
-        .threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let max_threads = args.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
     // Left column of the figure: many domains; right column: one domain.
     let domain_configs: Vec<(usize, usize)> = if max_threads >= 4 {
         vec![(4.min(max_threads), max_threads), (1, max_threads)]

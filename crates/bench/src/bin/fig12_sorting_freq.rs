@@ -20,18 +20,32 @@ const FREQUENCIES: [Option<usize>; 6] = [None, Some(1), Some(5), Some(10), Some(
 fn main() {
     bdm_bench::child_guard();
     let args = Args::parse();
-    header("Figure 12: agent sorting and balancing frequency study", &args);
+    header(
+        "Figure 12: agent sorting and balancing frequency study",
+        &args,
+    );
 
     let agents = args.scale(8_000);
     // Must cover several periods of the largest frequency (50).
     let iterations = args.iters(120);
-    let threads = args
-        .threads
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
-    let domain_configs: Vec<usize> = if threads >= 4 { vec![4, 1] } else { vec![threads.min(2), 1] };
+    let threads = args.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let domain_configs: Vec<usize> = if threads >= 4 {
+        vec![4, 1]
+    } else {
+        vec![threads.min(2), 1]
+    };
     println!("agents={agents} iterations={iterations} (baseline per row-group: sorting off)\n");
 
-    let mut table = Table::new(["domains", "model", "sort frequency", "speedup vs no sorting"]);
+    let mut table = Table::new([
+        "domains",
+        "model",
+        "sort frequency",
+        "speedup vs no sorting",
+    ]);
     for &domains in &domain_configs {
         for name in args.selected_models() {
             let mut baseline = None;
@@ -57,7 +71,9 @@ fn main() {
     // The paper's neuroscience aside: with static detection disabled, the
     // sorting benefit reappears (3.80x at frequency 20).
     if args.selected_models().iter().any(|m| m == "neuroscience") {
-        println!("neuroscience with static detection OFF (paper: sorting regains 3.80x at freq 20):");
+        println!(
+            "neuroscience with static detection OFF (paper: sorting regains 3.80x at freq 20):"
+        );
         let mut aside = Table::new(["sort frequency", "speedup vs no sorting"]);
         let mut baseline = None;
         for freq in [None, Some(20)] {

@@ -13,7 +13,10 @@ use bdm_util::Table;
 fn main() {
     bdm_bench::child_guard();
     let args = Args::parse();
-    header("Table 1: performance-relevant simulation characteristics", &args);
+    header(
+        "Table 1: performance-relevant simulation characteristics",
+        &args,
+    );
 
     let models = all_models(100);
     let mut table = Table::new([
@@ -39,7 +42,9 @@ fn main() {
     push("agents modify neighbors", &|c| {
         Characteristics::mark(c.modifies_neighbors).into()
     });
-    push("load imbalance", &|c| Characteristics::mark(c.load_imbalance).into());
+    push("load imbalance", &|c| {
+        Characteristics::mark(c.load_imbalance).into()
+    });
     push("agents move randomly", &|c| {
         Characteristics::mark(c.random_movement).into()
     });
@@ -49,7 +54,9 @@ fn main() {
     push("simulation has static regions", &|c| {
         Characteristics::mark(c.has_static_regions).into()
     });
-    push("number of iterations (paper)", &|c| c.paper_iterations.to_string());
+    push("number of iterations (paper)", &|c| {
+        c.paper_iterations.to_string()
+    });
     push("number of agents (paper, millions)", &|c| {
         format!("{:.1}", c.paper_agents as f64 / 1e6)
     });
@@ -71,7 +78,9 @@ fn main() {
         let c = model.characteristics();
         // Each model's default horizon is long enough for its claimed
         // behaviors to appear (e.g. proliferation's first division).
-        let iterations = args.iterations.unwrap_or_else(|| model.default_iterations());
+        let iterations = args
+            .iterations
+            .unwrap_or_else(|| model.default_iterations());
         let spec = RunSpec::new(model.name(), agents, iterations)
             .with_opt(OptLevel::StaticDetection)
             .with_topology(args.threads, args.domains);
@@ -98,7 +107,11 @@ fn main() {
             model.name().to_string(),
             claims.join(" "),
             observed.join(" "),
-            if ok { "ok".into() } else { "MISMATCH".to_string() },
+            if ok {
+                "ok".into()
+            } else {
+                "MISMATCH".to_string()
+            },
         ]);
         if !ok {
             failures += 1;

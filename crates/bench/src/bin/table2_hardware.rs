@@ -33,9 +33,11 @@ fn total_memory_gb() -> String {
 fn os_version() -> String {
     read_first_match("/etc/os-release", "PRETTY_NAME")
         .map(|s| s.trim_matches('"').to_string())
-        .or_else(|| std::fs::read_to_string("/proc/version").ok().map(|v| {
-            v.split_whitespace().take(3).collect::<Vec<_>>().join(" ")
-        }))
+        .or_else(|| {
+            std::fs::read_to_string("/proc/version")
+                .ok()
+                .map(|v| v.split_whitespace().take(3).collect::<Vec<_>>().join(" "))
+        })
         .unwrap_or_else(|| "unknown OS".into())
 }
 
@@ -63,7 +65,9 @@ fn main() {
         "2x Intel Xeon E5-2683 v3 @ 2.00GHz, 28 cores, 2 threads/core, 2 NUMA domains".into(),
         "CentOS Stream 8".into(),
     ]);
-    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     table.row([
         "this host".to_string(),
         total_memory_gb(),

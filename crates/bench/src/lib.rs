@@ -34,7 +34,6 @@ pub mod spec;
 pub use args::{Args, USAGE};
 pub use report::{emit, emit_raw, fmt_bytes, fmt_pct, fmt_secs, fmt_speedup, header};
 pub use runner::{
-    child_guard, measure, measure_median, model_or_die, param_for, report_from_sim,
-    run_spec_inproc,
+    child_guard, measure, measure_median, model_or_die, param_for, report_from_sim, run_spec_inproc,
 };
 pub use spec::{EngineKind, RunReport, RunSpec, ENVIRONMENTS};

@@ -93,7 +93,7 @@ mod tests {
         assert_eq!(fmt_secs(0.0000005), "0.5 µs");
         assert_eq!(fmt_secs(0.0123), "12.30 ms");
         assert_eq!(fmt_secs(2.5), "2.50 s");
-        assert_eq!(fmt_speedup(3.14159), "3.14x");
+        assert_eq!(fmt_speedup(3.17159), "3.17x");
         assert_eq!(fmt_speedup(159.0), "159x");
         assert_eq!(fmt_bytes(0), "n/a");
         assert_eq!(fmt_bytes(2048), "2.00 KiB");
@@ -102,8 +102,10 @@ mod tests {
 
     #[test]
     fn emit_raw_writes_under_out_dir() {
-        let mut args = Args::default();
-        args.out_dir = std::env::temp_dir().join("bdm_bench_report_test");
+        let args = Args {
+            out_dir: std::env::temp_dir().join("bdm_bench_report_test"),
+            ..Args::default()
+        };
         let path = emit_raw("x,y\n1,2\n", "dump.csv", &args).unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "x,y\n1,2\n");
         let _ = std::fs::remove_dir_all(&args.out_dir);

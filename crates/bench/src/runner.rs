@@ -143,7 +143,7 @@ static SUBPROCESS_BROKEN: AtomicBool = AtomicBool::new(false);
 pub fn measure(spec: &RunSpec, no_subprocess: bool) -> RunReport {
     let inproc = no_subprocess
         || SUBPROCESS_BROKEN.load(Ordering::Relaxed)
-        || std::env::var(INPROC_ENV).map_or(false, |v| v == "1");
+        || std::env::var(INPROC_ENV).is_ok_and(|v| v == "1");
     if inproc {
         return run_spec_inproc(spec);
     }
@@ -151,7 +151,9 @@ pub fn measure(spec: &RunSpec, no_subprocess: bool) -> RunReport {
         Ok(report) => report,
         Err(err) => {
             if !SUBPROCESS_BROKEN.swap(true, Ordering::Relaxed) {
-                eprintln!("note: child-process measurement unavailable ({err}); running in-process");
+                eprintln!(
+                    "note: child-process measurement unavailable ({err}); running in-process"
+                );
             }
             run_spec_inproc(spec)
         }

@@ -204,8 +204,14 @@ impl RunSpec {
             detect_static: parse_bool("detect_static")?,
             numa_aware: parse_bool("numa_aware")?,
             parallel_add_remove: parse_bool("par_add_remove")?,
-            threads: map.get("threads").map(|v| v.parse().map_err(|_| "bad threads".to_string())).transpose()?,
-            domains: map.get("domains").map(|v| v.parse().map_err(|_| "bad domains".to_string())).transpose()?,
+            threads: map
+                .get("threads")
+                .map(|v| v.parse().map_err(|_| "bad threads".to_string()))
+                .transpose()?,
+            domains: map
+                .get("domains")
+                .map(|v| v.parse().map_err(|_| "bad domains".to_string()))
+                .transpose()?,
             seed: get("seed")?.parse().map_err(|_| "bad seed".to_string())?,
         })
     }
@@ -340,7 +346,10 @@ fn parse_kv(line: &str) -> Result<BTreeMap<String, String>, String> {
 }
 
 fn opt_to_index(opt: OptLevel) -> usize {
-    OptLevel::ALL.iter().position(|&o| o == opt).expect("opt in ALL")
+    OptLevel::ALL
+        .iter()
+        .position(|&o| o == opt)
+        .expect("opt in ALL")
 }
 
 fn opt_from_index(idx: usize) -> Option<OptLevel> {

@@ -331,7 +331,13 @@ impl Cell {
 
     /// Splits this cell: shrinks it to half volume and returns the daughter
     /// placed `direction` away at the mother's radius.
-    pub fn divide(&mut self, daughter_uid: AgentUid, direction: Real3, mm: &MemoryManager, domain: usize) -> Cell {
+    pub fn divide(
+        &mut self,
+        daughter_uid: AgentUid,
+        direction: Real3,
+        mm: &MemoryManager,
+        domain: usize,
+    ) -> Cell {
         let half_volume = self.volume() / 2.0;
         let new_diameter = 2.0 * (3.0 * half_volume / (4.0 * std::f64::consts::PI)).cbrt();
         self.set_diameter(new_diameter);

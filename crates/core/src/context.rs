@@ -205,10 +205,13 @@ impl<'a> AgentContext<'a> {
     ) {
         let cloud = SnapshotCloud(self.snapshot);
         let data = &self.snapshot.data;
-        self.env
-            .for_each_neighbor(&cloud, pos, Some(self.self_global), radius, &mut |idx, d2| {
-                f(idx, &data[idx], d2)
-            });
+        self.env.for_each_neighbor(
+            &cloud,
+            pos,
+            Some(self.self_global),
+            radius,
+            &mut |idx, d2| f(idx, &data[idx], d2),
+        );
     }
 
     /// Counts neighbors within `radius` of `pos` satisfying `pred`.

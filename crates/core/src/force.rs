@@ -49,13 +49,7 @@ impl InteractionForce {
     /// Force exerted **on** the sphere at `pos1` by the sphere at `pos2`.
     /// Returns `Real3::ZERO` when the spheres do not touch.
     #[inline]
-    pub fn sphere_sphere(
-        &self,
-        pos1: Real3,
-        diameter1: f64,
-        pos2: Real3,
-        diameter2: f64,
-    ) -> Real3 {
+    pub fn sphere_sphere(&self, pos1: Real3, diameter1: f64, pos2: Real3, diameter2: f64) -> Real3 {
         let r1 = 0.5 * diameter1;
         let r2 = 0.5 * diameter2;
         let delta = pos1 - pos2; // points away from the neighbor
@@ -178,8 +172,14 @@ mod tests {
             Real3::new(3.0, 0.0, 0.0)
         );
         // Clamped to the endpoints.
-        assert_eq!(closest_point_on_segment(Real3::new(-5.0, 1.0, 0.0), a, b), a);
-        assert_eq!(closest_point_on_segment(Real3::new(15.0, 1.0, 0.0), a, b), b);
+        assert_eq!(
+            closest_point_on_segment(Real3::new(-5.0, 1.0, 0.0), a, b),
+            a
+        );
+        assert_eq!(
+            closest_point_on_segment(Real3::new(15.0, 1.0, 0.0), a, b),
+            b
+        );
         // Degenerate segment.
         assert_eq!(closest_point_on_segment(Real3::splat(3.0), a, a), a);
     }

@@ -26,16 +26,14 @@ pub mod force;
 pub(crate) mod ops;
 pub mod param;
 pub mod resource_manager;
-pub(crate) mod sorting;
 pub mod simulation;
+pub(crate) mod sorting;
 
 pub use agent::{
     clone_agent_box, new_agent_box, Agent, AgentBase, AgentBox, AgentHandle, AgentUid, Cell,
     CloneIn,
 };
-pub use behavior::{
-    clone_behavior_box, new_behavior_box, Behavior, BehaviorBox, BehaviorControl,
-};
+pub use behavior::{clone_behavior_box, new_behavior_box, Behavior, BehaviorBox, BehaviorControl};
 pub use context::{AgentContext, ExecutionContext, NeighborData, Snapshot};
 pub use force::InteractionForce;
 pub use param::{OptLevel, Param};
@@ -46,8 +44,8 @@ pub use simulation::{SimStats, Simulation, StandaloneOp};
 pub use bdm_alloc::{MemoryManager, PoolBox, PoolConfig};
 pub use bdm_diffusion::{BoundaryCondition, DiffusionGrid};
 pub use bdm_env::{Environment, EnvironmentKind};
-pub use bdm_sfc::CurveKind;
 pub use bdm_numa::{NumaThreadPool, NumaTopology};
+pub use bdm_sfc::CurveKind;
 pub use bdm_util::{Real3, SimRng};
 
 /// Derives an independent RNG stream (seed, stream id).

@@ -95,7 +95,8 @@ pub(crate) fn run_mechanics(
     let diameter_now = agent.diameter();
     // Condition (ii): attribute changes that could increase the force —
     // growth or behavior-driven movement since the snapshot was taken.
-    let behavior_changed = pos_now.distance_sq(&snap.position) > cfg.static_threshold * cfg.static_threshold
+    let behavior_changed = pos_now.distance_sq(&snap.position)
+        > cfg.static_threshold * cfg.static_threshold
         || diameter_now > snap.diameter + 1e-12;
     // Condition (iii): new agents announce their presence to their
     // neighborhood on their first mechanics pass.

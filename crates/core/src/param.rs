@@ -101,7 +101,7 @@ pub enum OptLevel {
     /// + parallel addition/removal of agents (Section 3.2).
     ParallelAddRemove,
     /// + memory-layout optimizations: NUMA-aware iteration, agent sorting,
-    /// pool allocator (Section 4).
+    ///   pool allocator (Section 4).
     MemoryLayout,
     /// + extra memory during agent sorting (Section 4.2, step G).
     SortExtraMemory,

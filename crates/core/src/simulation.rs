@@ -106,7 +106,9 @@ impl Simulation {
         let env = param.environment.create();
         Simulation {
             rm: ResourceManager::new(num_domains),
-            ctxs: (0..num_threads).map(|_| ExecutionContext::new(num_domains)).collect(),
+            ctxs: (0..num_threads)
+                .map(|_| ExecutionContext::new(num_domains))
+                .collect(),
             env,
             diffusion: Vec::new(),
             snapshot: Snapshot::default(),
@@ -179,7 +181,8 @@ impl Simulation {
         frequency: usize,
         op: StandaloneOp,
     ) {
-        self.standalone_ops.push((name.into(), frequency.max(1), op));
+        self.standalone_ops
+            .push((name.into(), frequency.max(1), op));
     }
 
     /// Number of live agents.
@@ -319,7 +322,7 @@ impl Simulation {
 
         // ---- Agent sorting and balancing (Section 4.2). ----
         if let Some(freq) = self.param.agent_sort_frequency {
-            if freq > 0 && self.iteration % freq as u64 == 0 {
+            if freq > 0 && self.iteration.is_multiple_of(freq as u64) {
                 let t = Timer::start();
                 // If the commit above added or removed agents, the index
                 // built at the start of the iteration no longer matches the
@@ -454,46 +457,47 @@ impl Simulation {
         let violations_ref = &violations;
         let mech_ref = &mech;
 
-        let body = move |worker: bdm_numa::WorkerCtx, domain: usize, range: std::ops::Range<usize>| {
-            // SAFETY: each worker accesses only its own execution context.
-            let exec = unsafe { ctxs_ptr.get_mut(worker.thread_id) };
-            let mut neighbor_scratch: Vec<u32> = Vec::new();
-            for i in range {
-                // SAFETY: each (domain, i) is processed by exactly one task.
-                let agent_box = unsafe { agent_ptrs[domain].get_mut(i) };
-                let flags = unsafe { flag_ptrs[domain].get_mut(i) };
-                let agent: &mut dyn Agent = &mut **agent_box;
-                let global = offsets_ref[domain] + i;
-                let uid = agent.uid();
-                let mut actx = AgentContext {
-                    exec,
-                    env,
-                    snapshot,
-                    mm,
-                    diffusion,
-                    alloc_domain: worker.domain,
-                    self_handle: crate::agent::AgentHandle::new(domain, i),
-                    self_global: global,
-                    dt,
-                    iteration,
-                    rng: agent_rng(seed, uid, iteration),
-                    uid_seq: 0,
-                    self_uid: uid,
-                };
-                run_behaviors(agent, &mut actx);
-                if enable_mechanics && agent.participates_in_mechanics() {
-                    run_mechanics(
-                        agent,
-                        flags,
-                        global,
-                        violations_ref,
-                        &mut actx,
-                        mech_ref,
-                        &mut neighbor_scratch,
-                    );
+        let body =
+            move |worker: bdm_numa::WorkerCtx, domain: usize, range: std::ops::Range<usize>| {
+                // SAFETY: each worker accesses only its own execution context.
+                let exec = unsafe { ctxs_ptr.get_mut(worker.thread_id) };
+                let mut neighbor_scratch: Vec<u32> = Vec::new();
+                for i in range {
+                    // SAFETY: each (domain, i) is processed by exactly one task.
+                    let agent_box = unsafe { agent_ptrs[domain].get_mut(i) };
+                    let flags = unsafe { flag_ptrs[domain].get_mut(i) };
+                    let agent: &mut dyn Agent = &mut **agent_box;
+                    let global = offsets_ref[domain] + i;
+                    let uid = agent.uid();
+                    let mut actx = AgentContext {
+                        exec,
+                        env,
+                        snapshot,
+                        mm,
+                        diffusion,
+                        alloc_domain: worker.domain,
+                        self_handle: crate::agent::AgentHandle::new(domain, i),
+                        self_global: global,
+                        dt,
+                        iteration,
+                        rng: agent_rng(seed, uid, iteration),
+                        uid_seq: 0,
+                        self_uid: uid,
+                    };
+                    run_behaviors(agent, &mut actx);
+                    if enable_mechanics && agent.participates_in_mechanics() {
+                        run_mechanics(
+                            agent,
+                            flags,
+                            global,
+                            violations_ref,
+                            &mut actx,
+                            mech_ref,
+                            &mut neighbor_scratch,
+                        );
+                    }
                 }
-            }
-        };
+            };
         let block = self.param.iteration_block_size;
         if self.param.numa_aware_iteration {
             self.pool.numa_for(&sizes, block, &body);
@@ -538,7 +542,7 @@ impl Simulation {
         }
         let mut ops = std::mem::take(&mut self.standalone_ops);
         for (_name, freq, op) in ops.iter_mut() {
-            if self.iteration % *freq as u64 == 0 {
+            if self.iteration.is_multiple_of(*freq as u64) {
                 op(self);
             }
         }

@@ -43,7 +43,7 @@ pub(crate) fn sort_and_balance(
 ) -> usize {
     let dims = grid.dims();
     let total: usize = rm.num_agents();
-    if total == 0 || dims.iter().any(|&d| d == 0) {
+    if total == 0 || dims.contains(&0) {
         return 0;
     }
     let offsets = rm.offsets();
@@ -66,9 +66,8 @@ pub(crate) fn sort_and_balance(
                 .max()
                 .unwrap_or(1)
                 .max(1);
-            let mut keyed: Vec<(u64, usize)> = Vec::with_capacity(
-                dims.iter().map(|&d| d as usize).product(),
-            );
+            let mut keyed: Vec<(u64, usize)> =
+                Vec::with_capacity(dims.iter().map(|&d| d as usize).product());
             for z in 0..dims[2] {
                 for y in 0..dims[1] {
                     for x in 0..dims[0] {
@@ -167,7 +166,9 @@ pub(crate) fn sort_and_balance(
     // uninitialized vectors and fill them with the NUMA-aware iterator (the
     // copying thread belongs to the target domain, so pool allocations land
     // on the right virtual node).
-    let sizes: Vec<usize> = (0..num_domains).map(|d| bounds[d + 1] - bounds[d]).collect();
+    let sizes: Vec<usize> = (0..num_domains)
+        .map(|d| bounds[d + 1] - bounds[d])
+        .collect();
     let mut new_stores: Vec<DomainStore> = sizes
         .iter()
         .map(|&n| {

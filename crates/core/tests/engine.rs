@@ -5,8 +5,7 @@
 use bdm_core::{
     clone_behavior_box, new_agent_box, new_behavior_box, Agent, AgentContext, AgentHandle,
     AgentUid, Behavior, BehaviorControl, Cell, DiffusionGrid, EnvironmentKind, ExecutionContext,
-    MemoryManager, NumaThreadPool, NumaTopology, Param, Real3, ResourceManager,
-    Simulation,
+    MemoryManager, NumaThreadPool, NumaTopology, Param, Real3, ResourceManager, Simulation,
 };
 use bdm_sfc::morton3_encode;
 use bdm_util::SimRng;
@@ -82,8 +81,7 @@ fn parallel_and_serial_removal_agree() {
                 ctxs[k % 4].queue_removal(AgentHandle::new(0, idx));
             }
             rm.commit(&mut ctxs, &pool, parallel, 1);
-            let got: std::collections::BTreeSet<u64> =
-                surviving_uids(&rm).into_iter().collect();
+            let got: std::collections::BTreeSet<u64> = surviving_uids(&rm).into_iter().collect();
             assert_eq!(got, survivors_expected, "parallel={parallel} {removals:?}");
             drop(rm);
             assert_eq!(m.outstanding(), 0);
@@ -290,8 +288,16 @@ fn mechanics_separates_overlapping_cells() {
     let mut sim = Simulation::new(param);
     let u1 = sim.new_uid();
     let u2 = sim.new_uid();
-    sim.add_agent(Cell::new(u1).with_position(Real3::new(0.0, 0.0, 0.0)).with_diameter(10.0));
-    sim.add_agent(Cell::new(u2).with_position(Real3::new(4.0, 0.0, 0.0)).with_diameter(10.0));
+    sim.add_agent(
+        Cell::new(u1)
+            .with_position(Real3::new(0.0, 0.0, 0.0))
+            .with_diameter(10.0),
+    );
+    sim.add_agent(
+        Cell::new(u2)
+            .with_position(Real3::new(4.0, 0.0, 0.0))
+            .with_diameter(10.0),
+    );
     let before = 4.0;
     sim.simulate(50);
     let mut positions = Vec::new();
@@ -307,12 +313,7 @@ fn mechanics_separates_overlapping_cells() {
 fn removal_behavior_empties_simulation() {
     let mut sim = Simulation::new(small_param(2));
     for i in 0..40 {
-        add_cell_with_behavior(
-            &mut sim,
-            Real3::splat(i as f64 * 12.0),
-            8.0,
-            DieBelow(6.0),
-        );
+        add_cell_with_behavior(&mut sim, Real3::splat(i as f64 * 12.0), 8.0, DieBelow(6.0));
     }
     sim.simulate(10);
     assert_eq!(sim.num_agents(), 0, "all agents shrank away");
@@ -493,7 +494,7 @@ fn sorting_preserves_agents_and_orders_by_morton_code() {
         morton3_encode(bx, by, bz)
     };
     // Global order across domains must be non-decreasing.
-    let codes: Vec<u64> = positions.iter().map(|p| code(p)).collect();
+    let codes: Vec<u64> = positions.iter().map(code).collect();
     let violations = codes.windows(2).filter(|w| w[0] > w[1]).count();
     assert_eq!(
         violations, 0,
@@ -652,7 +653,11 @@ fn deferred_mutations_apply() {
     let mut sim = Simulation::new(param);
     add_cell_with_behavior(&mut sim, Real3::ZERO, 10.0, Tag);
     let u2 = sim.new_uid();
-    sim.add_agent(Cell::new(u2).with_position(Real3::new(5.0, 0.0, 0.0)).with_diameter(10.0));
+    sim.add_agent(
+        Cell::new(u2)
+            .with_position(Real3::new(5.0, 0.0, 0.0))
+            .with_diameter(10.0),
+    );
     sim.simulate(1);
     let tagged = sim.count_agents(|a| a.payload() == 7);
     assert_eq!(tagged, 1, "the neighbor was tagged via deferred mutation");

@@ -291,7 +291,10 @@ mod tests {
             g.step(0.1);
         }
         assert!((g.total() - 100.0).abs() < 1e-9, "total={}", g.total());
-        assert!(g.concentrations().iter().all(|&v| v >= 0.0 && v.is_finite()));
+        assert!(g
+            .concentrations()
+            .iter()
+            .all(|&v| v >= 0.0 && v.is_finite()));
     }
 
     #[test]
@@ -348,7 +351,10 @@ mod tests {
         }
         let probe = Real3::new(4.0, 5.0, 5.0); // left of the source
         let grad = g.gradient_at(probe);
-        assert!(grad.x() > 0.0, "gradient x must point toward source: {grad:?}");
+        assert!(
+            grad.x() > 0.0,
+            "gradient x must point toward source: {grad:?}"
+        );
         assert!(grad.y().abs() < grad.x());
     }
 
@@ -357,7 +363,10 @@ mod tests {
         let mut g = grid(8); // stable dt ~ 10/8 squared / 3 ≈ 0.52
         g.increase_concentration(Real3::splat(5.0), 1.0);
         g.step(100.0); // far beyond the stability bound
-        assert!(g.concentrations().iter().all(|&v| v.is_finite() && v >= -1e-12));
+        assert!(g
+            .concentrations()
+            .iter()
+            .all(|&v| v.is_finite() && v >= -1e-12));
         assert!((g.total() - 1.0).abs() < 1e-9);
     }
 

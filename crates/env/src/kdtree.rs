@@ -74,13 +74,14 @@ impl KdTreeEnvironment {
         }
         // Widest axis of the actual extent.
         let extent = max - min;
-        let axis = (0..3).max_by(|&a, &b| extent[a].total_cmp(&extent[b])).unwrap();
+        let axis = (0..3)
+            .max_by(|&a, &b| extent[a].total_cmp(&extent[b]))
+            .unwrap();
         let mid = (lo + hi) / 2;
         let positions = &self.positions;
-        self.indices[lo..hi]
-            .select_nth_unstable_by(mid - lo, |&a, &b| {
-                positions[a as usize][axis].total_cmp(&positions[b as usize][axis])
-            });
+        self.indices[lo..hi].select_nth_unstable_by(mid - lo, |&a, &b| {
+            positions[a as usize][axis].total_cmp(&positions[b as usize][axis])
+        });
         let split_value = positions[self.indices[mid] as usize][axis];
         self.nodes.push(Node::Split {
             axis,

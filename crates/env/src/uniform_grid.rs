@@ -127,7 +127,8 @@ impl UniformGridEnvironment {
     #[inline]
     pub fn flat_index(&self, bc: [u32; 3]) -> usize {
         (bc[0] as usize)
-            + (self.dims[0] as usize) * ((bc[1] as usize) + (self.dims[1] as usize) * bc[2] as usize)
+            + (self.dims[0] as usize)
+                * ((bc[1] as usize) + (self.dims[1] as usize) * bc[2] as usize)
     }
 
     /// Head of the agent list of the box at `flat` (used by the sorting
@@ -396,4 +397,3 @@ impl BoxesPtr {
         unsafe { self.0.add(i).write(v) };
     }
 }
-

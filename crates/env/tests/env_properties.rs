@@ -30,12 +30,12 @@ fn random_points(seed: u64, n: usize, extent: f64) -> Vec<Real3> {
 /// Compares each environment against brute force for every point as a query.
 fn check_against_brute(points: &[Real3], radius: f64) {
     let mut brute = BruteForceEnvironment::new();
-    brute.update(&pc(&points), radius);
+    brute.update(&pc(points), radius);
     for mut env in environments() {
-        env.update(&pc(&points), radius);
+        env.update(&pc(points), radius);
         for (i, &p) in points.iter().enumerate() {
-            let expected = neighbors_of(&brute, &pc(&points), p, Some(i), radius);
-            let got = neighbors_of(env.as_ref(), &pc(&points), p, Some(i), radius);
+            let expected = neighbors_of(&brute, &pc(points), p, Some(i), radius);
+            let got = neighbors_of(env.as_ref(), &pc(points), p, Some(i), radius);
             assert_eq!(
                 got,
                 expected,
@@ -85,7 +85,9 @@ fn coincident_points() {
 
 #[test]
 fn points_on_a_line() {
-    let points: Vec<Real3> = (0..50).map(|i| Real3::new(i as f64 * 0.5, 0.0, 0.0)).collect();
+    let points: Vec<Real3> = (0..50)
+        .map(|i| Real3::new(i as f64 * 0.5, 0.0, 0.0))
+        .collect();
     check_against_brute(&points, 1.0);
 }
 

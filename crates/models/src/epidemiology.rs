@@ -136,8 +136,7 @@ impl Behavior for Infection {
                 }
             }
             SirState::Infected => {
-                if ctx.iteration.saturating_sub(person.infected_since) >= self.recovery_iterations
-                {
+                if ctx.iteration.saturating_sub(person.infected_since) >= self.recovery_iterations {
                     person.state = SirState::Recovered;
                 }
             }
@@ -263,9 +262,10 @@ impl BenchmarkModel for Epidemiology {
             ("susceptible".into(), s),
             ("infected".into(), i),
             ("recovered".into(), r),
-            ("population_conserved".into(), f64::from(
-                (s + i + r) as usize == sim.num_agents(),
-            )),
+            (
+                "population_conserved".into(),
+                f64::from((s + i + r) as usize == sim.num_agents()),
+            ),
         ]
     }
 }

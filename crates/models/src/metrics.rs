@@ -58,7 +58,12 @@ mod tests {
         });
         for (p, t) in cells {
             let uid = sim.new_uid();
-            sim.add_agent(Cell::new(uid).with_position(*p).with_cell_type(*t).with_diameter(1.0));
+            sim.add_agent(
+                Cell::new(uid)
+                    .with_position(*p)
+                    .with_cell_type(*t)
+                    .with_diameter(1.0),
+            );
         }
         sim
     }

@@ -120,12 +120,8 @@ impl BenchmarkModel for Neuroscience {
                     .with_position(pos)
                     .with_diameter(10.0);
                 for _ in 0..self.neurites_per_soma {
-                    let dir = (Real3::new(
-                        rng.gaussian(0.0, 0.3),
-                        rng.gaussian(0.0, 0.3),
-                        1.0,
-                    ))
-                    .normalized();
+                    let dir = (Real3::new(rng.gaussian(0.0, 0.3), rng.gaussian(0.0, 0.3), 1.0))
+                        .normalized();
                     let uid = sim.new_uid();
                     let e = soma.extend_neurite(
                         uid,
@@ -161,8 +157,14 @@ impl BenchmarkModel for Neuroscience {
         });
         vec![
             ("neurite_elements".into(), neurites),
-            ("mean_neurite_z".into(), if n > 0.0 { z_sum / n } else { 0.0 }),
-            ("somas".into(), sim.count_agents(|a| a.payload() == bdm_neuro::PAYLOAD_SOMA) as f64),
+            (
+                "mean_neurite_z".into(),
+                if n > 0.0 { z_sum / n } else { 0.0 },
+            ),
+            (
+                "somas".into(),
+                sim.count_agents(|a| a.payload() == bdm_neuro::PAYLOAD_SOMA) as f64,
+            ),
         ]
     }
 }

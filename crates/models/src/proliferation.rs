@@ -88,8 +88,11 @@ impl BenchmarkModel for CellProliferation {
                         .with_diameter(d0)
                         .with_growth_rate(30.0)
                         .with_division_threshold(14.0);
-                    cell.base_mut()
-                        .add_behavior(new_behavior_box(GrowthDivision, sim.memory_manager(), 0));
+                    cell.base_mut().add_behavior(new_behavior_box(
+                        GrowthDivision,
+                        sim.memory_manager(),
+                        0,
+                    ));
                     sim.add_agent(cell);
                     placed += 1;
                 }
@@ -145,7 +148,11 @@ mod tests {
         sim.simulate(model.default_iterations());
         assert!(sim.num_agents() > 64, "{}", sim.num_agents());
         let metrics = model.validate(&sim);
-        let finite = metrics.iter().find(|(k, _)| k == "finite_agents").unwrap().1;
+        let finite = metrics
+            .iter()
+            .find(|(k, _)| k == "finite_agents")
+            .unwrap()
+            .1;
         assert_eq!(finite as usize, sim.num_agents());
     }
 

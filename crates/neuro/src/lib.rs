@@ -281,8 +281,7 @@ impl Behavior for GrowthCone {
         }
 
         let order = e.branch_order;
-        let bifurcate =
-            order < self.max_branch_order && ctx.rng.chance(self.branch_probability);
+        let bifurcate = order < self.max_branch_order && ctx.rng.chance(self.branch_probability);
         if !bifurcate && order >= self.max_branch_order {
             // Deepest allowed order reached: the cone retires, the element
             // stays a (now quiescent) terminal tip.
@@ -308,14 +307,8 @@ impl Behavior for GrowthCone {
         };
         for d in &directions {
             let uid = ctx.next_uid();
-            let mut daughter = NeuriteElement::new(
-                uid,
-                soma,
-                Some(parent_uid),
-                tip,
-                tip + *d * 0.5,
-                diameter,
-            );
+            let mut daughter =
+                NeuriteElement::new(uid, soma, Some(parent_uid), tip, tip + *d * 0.5, diameter);
             daughter.branch_order = order + u32::from(bifurcate);
             daughter.base_mut().add_behavior(bdm_core::new_behavior_box(
                 self.clone(),

@@ -148,9 +148,10 @@ impl NumaThreadPool {
         // Erase the lifetime: workers only dereference the pointer while this
         // function is blocked waiting for them.
         let job = JobPtr(unsafe {
-            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(
-                f as *const _,
-            )
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(f as *const _)
         });
         {
             let mut done = self.shared.done.lock();
@@ -468,7 +469,9 @@ mod tests {
             let mut acc = 1u64;
             for i in range {
                 for k in 0..20_000u64 {
-                    acc = std::hint::black_box(acc.wrapping_mul(2654435761).wrapping_add(i as u64 ^ k));
+                    acc = std::hint::black_box(
+                        acc.wrapping_mul(2654435761).wrapping_add(i as u64 ^ k),
+                    );
                 }
             }
             std::hint::black_box(acc);

@@ -77,7 +77,7 @@ fn transpose_to_axes(x: &mut [u32; 3], bits: u32) {
 
 /// Encodes a 3-D coordinate (each < 2^bits, bits ≤ 21) into its Hilbert index.
 pub fn hilbert3_encode(px: u32, py: u32, pz: u32, bits: u32) -> u64 {
-    debug_assert!(bits >= 1 && bits <= HILBERT3_BITS);
+    debug_assert!((1..=HILBERT3_BITS).contains(&bits));
     debug_assert!(px < (1 << bits) && py < (1 << bits) && pz < (1 << bits));
     let mut x = [px, py, pz];
     axes_to_transpose(&mut x, bits);
@@ -93,7 +93,7 @@ pub fn hilbert3_encode(px: u32, py: u32, pz: u32, bits: u32) -> u64 {
 
 /// Decodes a Hilbert index back to `(x, y, z)` (inverse of [`hilbert3_encode`]).
 pub fn hilbert3_decode(h: u64, bits: u32) -> (u32, u32, u32) {
-    debug_assert!(bits >= 1 && bits <= HILBERT3_BITS);
+    debug_assert!((1..=HILBERT3_BITS).contains(&bits));
     let mut x = [0u32; 3];
     // Scatter: inverse of the gather above.
     let mut pos = 3 * bits;

@@ -18,8 +18,8 @@ pub const MORTON2_BITS: u32 = 31;
 #[inline]
 fn part1by2(v: u64) -> u64 {
     let mut x = v & 0x1f_ffff; // 21 bits
-    x = (x | (x << 32)) & 0x1f00_0000_00ff_ff;
-    x = (x | (x << 16)) & 0x1f00_00ff_0000_ff;
+    x = (x | (x << 32)) & 0x001f_0000_0000_ffff;
+    x = (x | (x << 16)) & 0x001f_0000_ff00_00ff;
     x = (x | (x << 8)) & 0x100f_00f0_0f00_f00f;
     x = (x | (x << 4)) & 0x10c3_0c30_c30c_30c3;
     x = (x | (x << 2)) & 0x1249_2492_4924_9249;
@@ -32,8 +32,8 @@ fn compact1by2(v: u64) -> u64 {
     let mut x = v & 0x1249_2492_4924_9249;
     x = (x ^ (x >> 2)) & 0x10c3_0c30_c30c_30c3;
     x = (x ^ (x >> 4)) & 0x100f_00f0_0f00_f00f;
-    x = (x ^ (x >> 8)) & 0x1f00_00ff_0000_ff;
-    x = (x ^ (x >> 16)) & 0x1f00_0000_00ff_ff;
+    x = (x ^ (x >> 8)) & 0x001f_0000_ff00_00ff;
+    x = (x ^ (x >> 16)) & 0x001f_0000_0000_ffff;
     x = (x ^ (x >> 32)) & 0x1f_ffff;
     x
 }

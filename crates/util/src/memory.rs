@@ -59,7 +59,10 @@ mod tests {
             let rss = rss_bytes().expect("linux exposes VmRSS");
             assert!(rss > 0);
             let peak = peak_rss_bytes().expect("peak falls back to rss on linux");
-            assert!(peak >= rss / 2, "peak {peak} should be near/above rss {rss}");
+            assert!(
+                peak >= rss / 2,
+                "peak {peak} should be near/above rss {rss}"
+            );
         }
     }
 

@@ -6,7 +6,9 @@
 //! operations are branch-free where possible so they vectorize well.
 
 use std::iter::Sum;
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// A 3-D vector of `f64`, the basic geometric quantity of the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]

@@ -23,7 +23,6 @@ fn main() {
         println!("{},{},{},{}", sim.iteration(), s, i, r);
     }
 
-    let attack_rate =
-        sim.count_agents(|a| a.payload() != 0) as f64 / sim.num_agents() as f64;
+    let attack_rate = sim.count_agents(|a| a.payload() != 0) as f64 / sim.num_agents() as f64;
     eprintln!("\nfinal attack rate: {:.1}%", attack_rate * 100.0);
 }

@@ -28,8 +28,11 @@ fn main() {
                     .with_diameter(9.0 + rng.uniform_in(0.0, 2.0))
                     .with_growth_rate(50.0)
                     .with_division_threshold(14.0);
-                cell.base_mut()
-                    .add_behavior(new_behavior_box(GrowthDivision, sim.memory_manager(), 0));
+                cell.base_mut().add_behavior(new_behavior_box(
+                    GrowthDivision,
+                    sim.memory_manager(),
+                    0,
+                ));
                 sim.add_agent(cell);
             }
         }

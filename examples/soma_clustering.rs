@@ -23,7 +23,12 @@ fn main() {
     let resolution = 32;
     for name in ["substance_0", "substance_1"] {
         sim.add_diffusion_grid(DiffusionGrid::new(
-            name, 0.4, 0.002, resolution, Real3::ZERO, extent,
+            name,
+            0.4,
+            0.002,
+            resolution,
+            Real3::ZERO,
+            extent,
         ));
     }
 
@@ -57,7 +62,10 @@ fn main() {
         sim.add_agent(cell);
     }
 
-    println!("{} cells of two types, {}³ diffusion volumes each substance", n, resolution);
+    println!(
+        "{} cells of two types, {}³ diffusion volumes each substance",
+        n, resolution
+    );
     println!("same-type neighbor fraction (0.5 = random mix, 1.0 = fully sorted):\n");
     let quality = |sim: &Simulation| same_type_neighbor_fraction(sim, 15.0, 300);
     println!("  iteration   0: {:.3}", quality(&sim));

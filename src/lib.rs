@@ -25,7 +25,8 @@
 //! ```
 //! use biodynamo::prelude::*;
 //!
-//! // 8 cells that grow and divide, full optimizations, 2 threads.
+//! // 8 static cells stepped through the full engine, 2 threads.
+//! // (See examples/quickstart.rs for a growing/dividing population.)
 //! let mut sim = Simulation::new(Param {
 //!     threads: Some(2),
 //!     simulation_time_step: 1.0,
@@ -59,8 +60,8 @@ pub mod prelude {
     pub use bdm_core::{
         clone_agent_box, clone_behavior_box, new_agent_box, new_behavior_box, Agent, AgentBase,
         AgentBox, AgentContext, AgentHandle, AgentUid, Behavior, BehaviorBox, BehaviorControl,
-        BoundaryCondition, Cell, CloneIn, CurveKind, DiffusionGrid, EnvironmentKind, InteractionForce,
-        MemoryManager, OptLevel, Param, Real3, SimRng, SimStats, Simulation,
+        BoundaryCondition, Cell, CloneIn, CurveKind, DiffusionGrid, EnvironmentKind,
+        InteractionForce, MemoryManager, OptLevel, Param, Real3, SimRng, SimStats, Simulation,
     };
     pub use bdm_models::BenchmarkModel;
 }

@@ -3,7 +3,9 @@
 //! agent behavior, diffusion-coupled chemotaxis, division, death, and a
 //! standalone operation, across optimization presets.
 
-use biodynamo::core::{clone_behavior_box, new_behavior_box, Behavior, BehaviorBox, BehaviorControl};
+use biodynamo::core::{
+    clone_behavior_box, new_behavior_box, Behavior, BehaviorBox, BehaviorControl,
+};
 use biodynamo::core::{AgentContext, MemoryManager};
 use biodynamo::prelude::*;
 
@@ -57,15 +59,25 @@ fn build(param: Param) -> Simulation {
     param.simulation_time_step = 1.0;
     param.interaction_radius = Some(10.0);
     let mut sim = Simulation::new(param);
-    sim.add_diffusion_grid(DiffusionGrid::new("attractant", 0.2, 0.01, 16, Real3::ZERO, 120.0));
+    sim.add_diffusion_grid(DiffusionGrid::new(
+        "attractant",
+        0.2,
+        0.01,
+        16,
+        Real3::ZERO,
+        120.0,
+    ));
     let mut rng = SimRng::new(11);
     for _ in 0..80 {
         let uid = sim.new_uid();
         let mut cell = Cell::new(uid)
             .with_position(rng.point_in_cube(20.0, 100.0))
             .with_diameter(5.0);
-        cell.base_mut()
-            .add_behavior(new_behavior_box(Bacterium { grown: 0.0 }, sim.memory_manager(), 0));
+        cell.base_mut().add_behavior(new_behavior_box(
+            Bacterium { grown: 0.0 },
+            sim.memory_manager(),
+            0,
+        ));
         sim.add_agent(cell);
     }
     sim
@@ -111,10 +123,14 @@ fn standalone_op_observes_every_iteration() {
     });
     let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let c = counter.clone();
-    sim.add_standalone_op("census", 1, Box::new(move |sim| {
-        assert!(sim.num_agents() > 0);
-        c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    }));
+    sim.add_standalone_op(
+        "census",
+        1,
+        Box::new(move |sim| {
+            assert!(sim.num_agents() > 0);
+            c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }),
+    );
     sim.simulate(7);
     assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 7);
 }
@@ -128,9 +144,13 @@ fn standalone_op_frequency_is_honored() {
     });
     let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
     let c = counter.clone();
-    sim.add_standalone_op("sparse", 3, Box::new(move |_| {
-        c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    }));
+    sim.add_standalone_op(
+        "sparse",
+        3,
+        Box::new(move |_| {
+            c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }),
+    );
     sim.simulate(10); // fires on iterations 3, 6, 9
     assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 3);
 }

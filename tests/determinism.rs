@@ -110,12 +110,21 @@ fn population_invariant_under_sorting_and_environment() {
     };
     let baseline = count(&|_| {});
     assert_eq!(baseline, count(&|p| p.agent_sort_frequency = Some(1)));
-    assert_eq!(baseline, count(&|p| {
-        p.agent_sort_frequency = Some(1);
-        p.sort_use_extra_memory = true;
-    }));
-    assert_eq!(baseline, count(&|p| p.environment = EnvironmentKind::KdTree));
-    assert_eq!(baseline, count(&|p| p.environment = EnvironmentKind::Octree));
+    assert_eq!(
+        baseline,
+        count(&|p| {
+            p.agent_sort_frequency = Some(1);
+            p.sort_use_extra_memory = true;
+        })
+    );
+    assert_eq!(
+        baseline,
+        count(&|p| p.environment = EnvironmentKind::KdTree)
+    );
+    assert_eq!(
+        baseline,
+        count(&|p| p.environment = EnvironmentKind::Octree)
+    );
     assert_eq!(baseline, count(&|p| p.use_pool_allocator = false));
 }
 
@@ -135,10 +144,7 @@ fn epidemiology_infections_are_seed_deterministic() {
             },
             15,
         );
-        model
-            .validate(&sim)
-            .into_iter()
-            .collect::<BTreeMap<_, _>>()
+        model.validate(&sim).into_iter().collect::<BTreeMap<_, _>>()
     };
     assert_eq!(infected(), infected());
 }

@@ -2,7 +2,9 @@
 //! mass extinction, explosive growth, degenerate geometry, and allocator
 //! pressure. The engine must never panic or corrupt state.
 
-use biodynamo::core::{clone_behavior_box, new_behavior_box, Behavior, BehaviorBox, BehaviorControl};
+use biodynamo::core::{
+    clone_behavior_box, new_behavior_box, Behavior, BehaviorBox, BehaviorControl,
+};
 use biodynamo::core::{AgentContext, MemoryManager};
 use biodynamo::prelude::*;
 
@@ -128,11 +130,19 @@ fn coincident_agents_do_not_explode() {
     let mut sim = Simulation::new(small_param());
     for _ in 0..20 {
         let uid = sim.new_uid();
-        sim.add_agent(Cell::new(uid).with_position(Real3::splat(50.0)).with_diameter(10.0));
+        sim.add_agent(
+            Cell::new(uid)
+                .with_position(Real3::splat(50.0))
+                .with_diameter(10.0),
+        );
     }
     sim.simulate(5);
     sim.for_each_agent(|_, a| {
-        assert!(a.position().is_finite(), "position exploded: {:?}", a.position());
+        assert!(
+            a.position().is_finite(),
+            "position exploded: {:?}",
+            a.position()
+        );
         assert!(
             a.position().distance(&Real3::splat(50.0)) < 100.0,
             "displacement must stay capped"

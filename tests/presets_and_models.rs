@@ -166,7 +166,11 @@ fn characteristics_are_observable() {
     // (proliferation needs ~31 steps before the first division).
     for model in all_models(200) {
         let c = model.characteristics();
-        let sim = run_with(model.as_ref(), OptLevel::SortExtraMemory, model.default_iterations());
+        let sim = run_with(
+            model.as_ref(),
+            OptLevel::SortExtraMemory,
+            model.default_iterations(),
+        );
         let stats = sim.stats();
         assert_eq!(
             c.creates_agents,

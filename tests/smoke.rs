@@ -1,0 +1,64 @@
+//! Workspace smoke test: a small simulation driven end-to-end through the
+//! public prelude — the exact surface the README quickstart promises. This
+//! is the canary CI runs on every push; it must stay fast (a few seconds).
+
+use biodynamo::prelude::*;
+
+/// Static cells: the engine must hold agent count steady and keep every
+/// position finite through a full scheduler run.
+#[test]
+fn static_cells_survive_a_run() {
+    let mut sim = Simulation::new(Param {
+        threads: Some(2),
+        simulation_time_step: 1.0,
+        ..Param::default()
+    });
+    for i in 0..16 {
+        let uid = sim.new_uid();
+        sim.add_agent(
+            Cell::new(uid)
+                .with_position(Real3::splat(i as f64 * 25.0))
+                .with_diameter(10.0),
+        );
+    }
+    sim.simulate(20);
+    assert_eq!(sim.num_agents(), 16);
+    sim.for_each_agent(|_, agent| {
+        let p = agent.position();
+        assert!(p[0].is_finite() && p[1].is_finite() && p[2].is_finite());
+    });
+}
+
+/// A growing/dividing population must expand, deterministically per seed.
+#[test]
+fn proliferation_is_deterministic_across_runs() {
+    fn run(seed: u64) -> usize {
+        let model = biodynamo::models::CellProliferation::new(64);
+        let mut sim = model.build(Param {
+            threads: Some(2),
+            seed,
+            ..Param::default()
+        });
+        sim.simulate(10);
+        sim.num_agents()
+    }
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(a, b, "same seed must reproduce the same population");
+    assert!(a >= 64, "proliferation must not lose agents");
+}
+
+/// The paper models build and step through the `BenchmarkModel` entry point
+/// re-exported by the prelude.
+#[test]
+fn benchmark_models_step() {
+    for name in ["cell_proliferation", "cell_clustering", "epidemiology"] {
+        let model = biodynamo::models::model_by_name(name, 64).expect("known model");
+        let mut sim = model.build(Param::default());
+        sim.simulate(2);
+        assert!(sim.num_agents() > 0, "{name} lost all agents");
+        for (metric, value) in model.validate(&sim) {
+            assert!(value.is_finite(), "{name}: metric {metric} not finite");
+        }
+    }
+}

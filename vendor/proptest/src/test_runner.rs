@@ -1,0 +1,94 @@
+//! Test configuration and the deterministic RNG behind the shim.
+
+/// Configuration for a `proptest!` block (only the field the workspace
+/// actually reads; the real crate has many more knobs).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// Matches the real crate's default of 256 cases.
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// SplitMix64 step.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic per-case RNG: the stream is a pure function of the test
+/// name and the case index, so any failure reproduces on re-run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives the RNG for case `case` of the property named `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, then mix in the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01B3);
+        }
+        let mut state = h ^ (case as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        // Warm the stream so nearby seeds decorrelate.
+        splitmix64(&mut state);
+        TestRng { state }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`; panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_case("t", 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_case("t", 3);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = TestRng::for_case("t", 4);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

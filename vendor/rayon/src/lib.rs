@@ -1,0 +1,315 @@
+//! Minimal API-compatible shim for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! reimplements the slice of rayon the workspace uses — `par_iter`,
+//! `par_chunks_mut`, `into_par_iter` over ranges, and the `map` / `fold` /
+//! `reduce` / `zip` / `enumerate` / `for_each` / `collect` combinators — on
+//! top of `std::thread::scope`.
+//!
+//! Unlike real rayon there is no work-stealing pool: each parallel operation
+//! splits its items into up to [`current_num_threads`] contiguous chunks and
+//! runs them on freshly spawned scoped threads. That keeps semantics (each
+//! item processed exactly once, `collect` preserves order) while remaining a
+//! few hundred lines. The engine's own hot loops run on `bdm_numa`'s
+//! work-stealing pool; rayon only backs a handful of leaf utilities.
+
+use std::num::NonZeroUsize;
+
+/// Number of threads parallel operations may use (the shim has no configured
+/// pool, so this is the machine's available parallelism).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `items` into at most `current_num_threads()` contiguous chunks and
+/// maps each chunk on its own scoped thread; concatenation preserves order.
+fn run_chunked<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shim worker panicked"))
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// An eager "parallel iterator": the item list is materialized up front and
+/// the terminal combinators distribute it over scoped threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_chunked(self.items, &f);
+    }
+
+    /// Maps every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: run_chunked(self.items, f),
+        }
+    }
+
+    /// Rayon-style parallel fold: each thread-chunk folds to one accumulator,
+    /// yielding a parallel iterator over the per-chunk accumulators.
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> ParIter<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, T) -> A + Sync,
+    {
+        let n = self.items.len();
+        let threads = current_num_threads().min(n).max(1);
+        let chunk_len = n.div_ceil(threads).max(1);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut it = self.items.into_iter();
+        loop {
+            let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let accs = run_chunked(chunks, |chunk| chunk.into_iter().fold(identity(), &fold_op));
+        ParIter { items: accs }
+    }
+
+    /// Reduces all items to one value. With the shim's eager model this is a
+    /// sequential fold over the (already parallel-produced) items.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T,
+        OP: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    /// Pairs items positionally with `other`, truncating to the shorter side.
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    /// Attaches each item's index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Collects the items, preserving order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a [`ParIter`], mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+    /// Converts `self` into an eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_iter` over shared slices, mirroring `IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Send;
+    /// Returns an eager parallel iterator over `&self`'s items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter_mut` over exclusive slices, mirroring `IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The borrowed item type.
+    type Item: Send;
+    /// Returns an eager parallel iterator over `&mut self`'s items.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// Parallel chunking of exclusive slices, mirroring `ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Returns an eager parallel iterator over non-overlapping mutable chunks
+    /// of `chunk_size` elements (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel chunking of shared slices, mirroring `ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// Returns an eager parallel iterator over non-overlapping chunks of
+    /// `chunk_size` elements (the last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// The traits a `use rayon::prelude::*` is expected to bring into scope.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let hits: Vec<AtomicUsize> = (0..10_000).map(|_| AtomicUsize::new(0)).collect();
+        (0..10_000usize).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let doubled: Vec<usize> = (0..5_000usize).into_par_iter().map(|i| i * 2).collect();
+        let expected: Vec<usize> = (0..5_000).map(|i| i * 2).collect();
+        assert_eq!(doubled, expected);
+    }
+
+    #[test]
+    fn fold_reduce_matches_serial_sum() {
+        let total = (0..100_000usize)
+            .into_par_iter()
+            .fold(|| 0usize, |acc, i| acc + i)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, (0..100_000).sum());
+    }
+
+    #[test]
+    fn chunks_zip_enumerate() {
+        let mut data = vec![1usize; 100];
+        let offsets: Vec<usize> = (0..10).map(|i| i * 100).collect();
+        data.par_chunks_mut(10)
+            .zip(offsets.par_iter())
+            .enumerate()
+            .for_each(|(idx, (chunk, &off))| {
+                for v in chunk.iter_mut() {
+                    *v += off + idx;
+                }
+            });
+        for (i, &v) in data.iter().enumerate() {
+            let block = i / 10;
+            assert_eq!(v, 1 + offsets[block] + block);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<usize> = Vec::new();
+        v.into_par_iter().for_each(|_| unreachable!());
+        let collected: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
+        assert!(collected.is_empty());
+    }
+}
