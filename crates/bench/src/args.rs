@@ -73,7 +73,7 @@ Common flags:
   --threads N       worker threads (default: all available)
   --domains N       virtual NUMA domains (default: detect; see DESIGN.md)
   --models a,b,c    subset of: cell_proliferation, cell_clustering,
-                    epidemiology, neuroscience, oncology
+                    epidemiology, neuroscience, oncology, cell_sorting
   --repeats N       measurement repetitions, median reported (default 1)
   --seed S          base RNG seed (default 4357)
   --csv             also write results/<binary>.csv
@@ -180,7 +180,8 @@ impl Args {
         Ok(args)
     }
 
-    /// The model names selected by `--models`, or all five Table 1 models.
+    /// The model names selected by `--models`, or all six benchmark models
+    /// (the five Table 1 models plus the Biocellion cell-sorting model).
     pub fn selected_models(&self) -> Vec<String> {
         self.models.clone().unwrap_or_else(|| {
             [
@@ -189,6 +190,7 @@ impl Args {
                 "epidemiology",
                 "neuroscience",
                 "oncology",
+                "cell_sorting",
             ]
             .iter()
             .map(|s| s.to_string())
@@ -228,7 +230,7 @@ mod tests {
         assert!(!a.csv);
         assert_eq!(a.repeats, 1);
         assert_eq!(a.out_dir, PathBuf::from("results"));
-        assert_eq!(a.selected_models().len(), 5);
+        assert_eq!(a.selected_models().len(), 6);
     }
 
     #[test]

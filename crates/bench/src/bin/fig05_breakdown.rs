@@ -2,7 +2,10 @@
 //! analysis (right, `--proxy`).
 //!
 //! Left panel: per-operation share of the total runtime with all
-//! optimizations enabled. The paper reports agent operations dominating
+//! optimizations enabled. The shares come from the engine scheduler's
+//! per-operation wall-clock timings (`Simulation::time_buckets` is derived
+//! from the `Scheduler`'s op list, so each phase name below is the name of
+//! a built-in `Operation`). The paper reports agent operations dominating
 //! (median 76.3%), environment rebuild second (median 18.0%, up to 36.5% for
 //! epidemiology's wider environment), sorting 0.18–6.33%, setup/teardown
 //! ≤ 2.66%.

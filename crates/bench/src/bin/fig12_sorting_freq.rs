@@ -11,7 +11,7 @@
 //! Sorting helps even on one domain, because it also aligns memory with
 //! space.
 
-use bdm_bench::{emit, fmt_speedup, header, Args, RunSpec};
+use bdm_bench::{emit, fmt_secs, fmt_speedup, header, Args, RunSpec};
 use bdm_core::OptLevel;
 use bdm_util::Table;
 
@@ -40,11 +40,15 @@ fn main() {
     };
     println!("agents={agents} iterations={iterations} (baseline per row-group: sorting off)\n");
 
+    // `sort frequency` configures the scheduler's built-in `agent_sorting`
+    // operation; the "sorting time" column reads that op's accumulated
+    // wall-clock time back from the scheduler's per-op timings.
     let mut table = Table::new([
         "domains",
         "model",
         "sort frequency",
         "speedup vs no sorting",
+        "sorting time (total)",
     ]);
     for &domains in &domain_configs {
         for name in args.selected_models() {
@@ -62,6 +66,7 @@ fn main() {
                     name.clone(),
                     freq.map_or("off".to_string(), |f| f.to_string()),
                     fmt_speedup(base / per_iter),
+                    fmt_secs(report.bucket("agent_sorting")),
                 ]);
             }
         }

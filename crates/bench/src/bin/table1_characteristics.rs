@@ -18,15 +18,12 @@ fn main() {
         &args,
     );
 
+    // One column per registered model, so new scenarios (e.g. cell_sorting,
+    // Section 6.5) automatically show up alongside the Table 1 five.
     let models = all_models(100);
-    let mut table = Table::new([
-        "characteristic",
-        "cell_proliferation",
-        "cell_clustering",
-        "epidemiology",
-        "neuroscience",
-        "oncology",
-    ]);
+    let mut columns = vec!["characteristic".to_string()];
+    columns.extend(models.iter().map(|m| m.name().to_string()));
+    let mut table = Table::new(columns);
     let chars: Vec<Characteristics> = models.iter().map(|m| m.characteristics()).collect();
     let mut push = |label: &str, f: &dyn Fn(&Characteristics) -> String| {
         let mut row = vec![label.to_string()];

@@ -17,15 +17,20 @@
 //! * [`sorting`] — Morton-order agent sorting and NUMA balancing
 //!   (Section 4.2, Figure 3).
 //! * [`param`] — parameters and the optimization ladder of the evaluation.
-//! * [`simulation`] — the scheduler implementing Algorithm 1.
+//! * [`scheduler`] — the first-class [`Operation`] pipeline of Algorithm 1:
+//!   ordered op list, per-op frequencies and timings, built-in phases.
+//! * [`builder`] — fluent [`SimulationBuilder`] construction.
+//! * [`simulation`] — the simulation object driving the scheduler.
 
 pub mod agent;
 pub mod behavior;
+pub mod builder;
 pub mod context;
 pub mod force;
 pub(crate) mod ops;
 pub mod param;
 pub mod resource_manager;
+pub mod scheduler;
 pub mod simulation;
 pub(crate) mod sorting;
 
@@ -34,10 +39,12 @@ pub use agent::{
     CloneIn,
 };
 pub use behavior::{clone_behavior_box, new_behavior_box, Behavior, BehaviorBox, BehaviorControl};
+pub use builder::SimulationBuilder;
 pub use context::{AgentContext, ExecutionContext, NeighborData, Snapshot};
 pub use force::InteractionForce;
 pub use param::{OptLevel, Param};
 pub use resource_manager::{CommitStats, ResourceManager, StaticFlags};
+pub use scheduler::{builtin, OpInfo, OpKind, Operation, Scheduler, SimulationCtx};
 pub use simulation::{SimStats, Simulation, StandaloneOp};
 
 // Re-exported engine substrates for convenience.

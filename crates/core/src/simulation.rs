@@ -1,33 +1,42 @@
-//! The simulation object and scheduler (paper Section 2, Algorithm 1).
+//! The simulation object (paper Section 2, Algorithm 1).
 //!
-//! One iteration executes:
+//! One iteration is an ordered list of [`Operation`]s owned by the
+//! [`Scheduler`]; [`Simulation::step`] contains no phase logic itself — for
+//! each due operation it times it and runs it. The default pipeline:
 //!
-//! 1. **Pre standalone operations** — snapshot build, environment update
+//! 1. **Pre standalone operations** — `snapshot`, `environment_update`
 //!    (Algorithm 1 L3–5; the barrier of L6 is implicit in the phase change).
-//! 2. **Agent operations** — behaviors and mechanical forces for every agent,
-//!    in parallel with the NUMA-aware iterator (L7–11).
-//! 3. **Standalone operations** — secretion application, diffusion steps,
-//!    user-registered operations (L12–14).
-//! 4. **Post standalone operations** — deferred mutations, commit of
-//!    additions/removals (Section 3.2), and agent sorting when due
-//!    (Section 4.2) (L16–18).
+//! 2. **Agent operations** — `agent_ops`: behaviors and mechanical forces
+//!    for every agent, in parallel with the NUMA-aware iterator (L7–11).
+//! 3. **Standalone operations** — `diffusion` (secretion application +
+//!    diffusion steps) and user-registered operations (L12–14).
+//! 4. **Post standalone operations** — `teardown` (deferred mutations,
+//!    commit of additions/removals, Section 3.2) and `agent_sorting` when
+//!    due (Section 4.2) (L16–18).
 //!
-//! Per-phase wall-clock time is accumulated into named buckets, which the
-//! benchmark harness turns into the operation-runtime breakdown of Figure 5.
+//! Per-operation wall-clock time is accumulated by the scheduler;
+//! [`Simulation::time_buckets`] derives the operation-runtime breakdown of
+//! Figure 5 from those timings. The split-borrow kernels the built-in
+//! operations delegate to live here as `pub(crate)` phase methods.
 
 use bdm_alloc::{MemoryManager, MemoryStats, PoolConfig};
 use bdm_diffusion::DiffusionGrid;
 use bdm_env::Environment;
 use bdm_numa::{NumaThreadPool, NumaTopology, StealStats};
 use bdm_util::send_ptr::SendMut;
-use bdm_util::{TimeBuckets, Timer};
+use bdm_util::TimeBuckets;
 
 use crate::agent::{new_agent_box, Agent, AgentHandle, AgentUid};
+use crate::builder::SimulationBuilder;
 use crate::context::{agent_rng, AgentContext, ExecutionContext, NeighborData, Snapshot};
 use crate::force::InteractionForce;
 use crate::ops::{run_behaviors, run_mechanics, MechanicsConfig, ViolationTable};
 use crate::param::Param;
-use crate::resource_manager::{ResourceManager, ResourceManagerCloud};
+use crate::resource_manager::{CommitStats, ResourceManager, ResourceManagerCloud};
+use crate::scheduler::{
+    builtin, AgentOp, ClosureOp, DiffusionOp, EnvironmentOp, Scheduler, SimulationCtx, SnapshotOp,
+    SortingOp, TeardownOp,
+};
 use crate::sorting::sort_and_balance;
 
 /// Aggregate statistics across all iterations run so far.
@@ -50,7 +59,7 @@ pub struct SimStats {
 pub type StandaloneOp = Box<dyn FnMut(&mut Simulation) + Send>;
 
 /// The central simulation object: owns the agents, environment, diffusion
-/// grids, thread pool, and memory manager.
+/// grids, thread pool, memory manager, and the operation [`Scheduler`].
 ///
 /// Field order matters for drop order: everything holding pool-allocated
 /// boxes (`rm`, `ctxs`) is declared before `mm`.
@@ -63,14 +72,21 @@ pub struct Simulation {
     env: Box<dyn Environment>,
     diffusion: Vec<DiffusionGrid>,
     snapshot: Snapshot,
-    standalone_ops: Vec<(String, usize, StandaloneOp)>,
+    scheduler: Scheduler,
     mm: MemoryManager,
     iteration: u64,
     uid_counter: u64,
     init_round_robin: usize,
-    buckets: TimeBuckets,
     stats: SimStats,
     force: InteractionForce,
+    /// Interaction radius of the current iteration; written by the
+    /// `snapshot` operation, read by `environment_update`, `agent_ops`,
+    /// and `agent_sorting`.
+    step_radius: f64,
+    /// Commit statistics of the current iteration; written by `teardown`,
+    /// read by `agent_sorting` (a changed population forces an index
+    /// rebuild before sorting).
+    step_commit: CommitStats,
 }
 
 impl Simulation {
@@ -112,18 +128,24 @@ impl Simulation {
             env,
             diffusion: Vec::new(),
             snapshot: Snapshot::default(),
-            standalone_ops: Vec::new(),
+            scheduler: default_scheduler(&param),
             mm,
             iteration: 0,
             uid_counter: 0,
             init_round_robin: 0,
-            buckets: TimeBuckets::new(),
             stats: SimStats::default(),
             force: InteractionForce::default(),
             topology,
             pool,
             param,
+            step_radius: 0.0,
+            step_commit: CommitStats::default(),
         }
+    }
+
+    /// A fluent builder with default parameters (see [`SimulationBuilder`]).
+    pub fn builder() -> SimulationBuilder {
+        SimulationBuilder::new()
     }
 
     /// Simulation parameters.
@@ -175,14 +197,41 @@ impl Simulation {
 
     /// Registers a standalone operation executed every `frequency`
     /// iterations after the agent operations.
+    ///
+    /// This is the legacy closure-based entry point; it wraps the closure in
+    /// an [`Operation`](crate::scheduler::Operation) of kind `Standalone`
+    /// whose runtime is attributed to the `standalone_ops` timing bucket.
+    /// Prefer implementing [`Operation`](crate::scheduler::Operation) and
+    /// registering it via [`Simulation::scheduler_mut`] or
+    /// [`SimulationBuilder::operation`] for named per-op timings and
+    /// placement control.
     pub fn add_standalone_op(
         &mut self,
         name: impl Into<String>,
         frequency: usize,
         op: StandaloneOp,
     ) {
-        self.standalone_ops
-            .push((name.into(), frequency.max(1), op));
+        self.scheduler.add_op_in_bucket(
+            Box::new(ClosureOp::new(name.into(), frequency.max(1) as u64, op)),
+            builtin::STANDALONE_BUCKET,
+        );
+    }
+
+    /// The operation scheduler: the ordered pipeline of this simulation.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Exclusive access to the scheduler: add, remove, reorder, re-time, or
+    /// toggle operations.
+    ///
+    /// From *inside* a running operation, `add_op`, `set_frequency`,
+    /// `set_enabled`, and `remove_op` are deferred and take effect from the
+    /// next iteration; anchored insertion and introspection only see
+    /// operations added during the current iteration (the main list is
+    /// detached while it executes).
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler {
+        &mut self.scheduler
     }
 
     /// Number of live agents.
@@ -227,9 +276,14 @@ impl Simulation {
         n
     }
 
-    /// Per-phase wall-clock buckets (Figure 5's runtime breakdown).
-    pub fn time_buckets(&self) -> &TimeBuckets {
-        &self.buckets
+    /// Per-phase wall-clock buckets (Figure 5's runtime breakdown), derived
+    /// from the scheduler's per-operation timings. Built-in operations keep
+    /// the legacy phase names (`snapshot`, `environment_update`,
+    /// `agent_ops`, `standalone_ops`, `teardown`, `agent_sorting`); custom
+    /// [`Operation`](crate::scheduler::Operation)s appear under their own
+    /// name.
+    pub fn time_buckets(&self) -> TimeBuckets {
+        self.scheduler.time_buckets()
     }
 
     /// Aggregate engine statistics.
@@ -269,46 +323,75 @@ impl Simulation {
         }
     }
 
-    /// Executes one iteration of Algorithm 1.
+    /// Executes one iteration of Algorithm 1: for each due operation in the
+    /// scheduler's ordered list, time it and run it. All phase logic lives
+    /// in the operations themselves (see [`crate::scheduler`]).
     pub fn step(&mut self) {
         self.iteration += 1;
+        self.step_commit = CommitStats::default();
+        // Detach the op list so operations get `&mut Simulation` access;
+        // ops registered during the iteration land in the (empty) scheduler
+        // and are merged back afterwards.
+        let mut entries = self.scheduler.take_entries();
+        // A panicking operation must not leak the detached list (the
+        // pipeline would be empty forever if the caller catches the
+        // unwind), so restore it before re-raising.
+        let result = {
+            let mut ctx = SimulationCtx { sim: self };
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Scheduler::run_iteration(&mut entries, &mut ctx)
+            }))
+        };
+        self.scheduler.put_entries(entries);
+        if let Err(payload) = result {
+            std::panic::resume_unwind(payload);
+        }
+    }
 
-        // ---- Pre standalone operations: snapshot + environment (L3–5). ----
-        // The snapshot gather and the index build are timed separately so
-        // the Figure 11 build-time comparison isolates the index structure.
-        let t = Timer::start();
+    // -- Built-in phase kernels (called by the scheduler's built-in ops) --
+
+    /// The `snapshot` operation: gathers the per-iteration snapshot and
+    /// derives the iteration's interaction radius. The snapshot gather and
+    /// the index build are separate operations so the Figure 11 build-time
+    /// comparison isolates the index structure.
+    pub(crate) fn phase_snapshot(&mut self) {
         self.build_snapshot();
-        self.buckets.add("snapshot", t.elapsed());
-        let radius = self
+        self.step_radius = self
             .param
             .interaction_radius
             .unwrap_or_else(|| self.snapshot.max_diameter.max(1e-6));
-        let t = Timer::start();
+    }
+
+    /// The `environment_update` operation: rebuilds the neighbor index
+    /// (Algorithm 1 L3–5).
+    pub(crate) fn phase_environment(&mut self) {
         if self.rm.num_agents() > 0 {
             let cloud = ResourceManagerCloud::new(&self.rm);
-            self.env.update(&cloud, radius);
+            self.env.update(&cloud, self.step_radius);
         }
-        self.buckets.add("environment_update", t.elapsed());
+    }
 
-        // ---- Agent operations (L7–11). ----
-        let t = Timer::start();
+    /// The `agent_ops` operation: behaviors + mechanics for every agent in
+    /// parallel (Algorithm 1 L7–11).
+    pub(crate) fn phase_agent_ops(&mut self) {
         if self.rm.num_agents() > 0 {
-            self.run_agent_ops(radius);
+            self.run_agent_ops(self.step_radius);
         }
-        self.buckets.add("agent_ops", t.elapsed());
+    }
 
-        // ---- Standalone operations (L12–14). ----
-        let t = Timer::start();
+    /// The `diffusion` operation: applies queued secretions and steps the
+    /// diffusion grids (Algorithm 1 L12–14).
+    pub(crate) fn phase_diffusion(&mut self) {
         self.apply_secretions();
         let dt = self.param.simulation_time_step;
         for grid in &mut self.diffusion {
             grid.step(dt);
         }
-        self.run_standalone_ops();
-        self.buckets.add("standalone_ops", t.elapsed());
+    }
 
-        // ---- Post standalone operations: teardown (L16–18). ----
-        let t = Timer::start();
+    /// The `teardown` operation: deferred mutations and the commit of
+    /// additions/removals (Section 3.2, Algorithm 1 L16–18).
+    pub(crate) fn phase_teardown(&mut self) {
         self.apply_deferred();
         let commit = self.rm.commit(
             &mut self.ctxs,
@@ -318,38 +401,38 @@ impl Simulation {
         );
         self.stats.agents_added += commit.added as u64;
         self.stats.agents_removed += commit.removed as u64;
-        self.buckets.add("teardown", t.elapsed());
+        self.step_commit = commit;
+    }
 
-        // ---- Agent sorting and balancing (Section 4.2). ----
-        if let Some(freq) = self.param.agent_sort_frequency {
-            if freq > 0 && self.iteration.is_multiple_of(freq as u64) {
-                let t = Timer::start();
-                // If the commit above added or removed agents, the index
-                // built at the start of the iteration no longer matches the
-                // resource manager and must be rebuilt: the sort's memory
-                // safety depends on the box lists referencing current agent
-                // indices. Without population changes the index is merely
-                // position-stale, which is harmless — the sort only needs
-                // *a* consistent spatial binning of the current index set.
-                if (commit.added > 0 || commit.removed > 0) && self.rm.num_agents() > 0 {
-                    let cloud = ResourceManagerCloud::new(&self.rm);
-                    self.env.update(&cloud, radius);
-                }
-                if let Some(grid) = self.env.as_uniform_grid() {
-                    let moved = sort_and_balance(
-                        &mut self.rm,
-                        grid,
-                        &self.mm,
-                        &self.pool,
-                        &self.topology,
-                        self.param.sort_curve,
-                        self.param.sort_use_extra_memory,
-                    );
-                    if moved > 0 {
-                        self.stats.sorts += 1;
-                    }
-                }
-                self.buckets.add("agent_sorting", t.elapsed());
+    /// The `agent_sorting` operation (Section 4.2): space-filling-curve
+    /// sort and NUMA balancing. Only effective on the uniform-grid
+    /// environment; its frequency comes from `Param::agent_sort_frequency`
+    /// and can be re-timed via the scheduler.
+    pub(crate) fn phase_sorting(&mut self) {
+        // If the commit of this iteration added or removed agents, the index
+        // built at the start of the iteration no longer matches the
+        // resource manager and must be rebuilt: the sort's memory safety
+        // depends on the box lists referencing current agent indices.
+        // Without population changes the index is merely position-stale,
+        // which is harmless — the sort only needs *a* consistent spatial
+        // binning of the current index set.
+        if (self.step_commit.added > 0 || self.step_commit.removed > 0) && self.rm.num_agents() > 0
+        {
+            let cloud = ResourceManagerCloud::new(&self.rm);
+            self.env.update(&cloud, self.step_radius);
+        }
+        if let Some(grid) = self.env.as_uniform_grid() {
+            let moved = sort_and_balance(
+                &mut self.rm,
+                grid,
+                &self.mm,
+                &self.pool,
+                &self.topology,
+                self.param.sort_curve,
+                self.param.sort_use_extra_memory,
+            );
+            if moved > 0 {
+                self.stats.sorts += 1;
             }
         }
     }
@@ -533,24 +616,32 @@ impl Simulation {
             self.stats.static_skipped += std::mem::take(&mut ctx.static_skipped);
         }
     }
+}
 
-    /// Runs user-registered standalone operations (take/put to allow
-    /// `&mut Simulation` access).
-    fn run_standalone_ops(&mut self) {
-        if self.standalone_ops.is_empty() {
-            return;
+/// Builds the default operation pipeline of Algorithm 1 from a parameter
+/// set. The optimization switches of [`Param`] (and thus
+/// [`OptLevel::apply_opt_level`](crate::param::OptLevel)) map onto the
+/// built-in operations: `agent_sort_frequency` becomes the `agent_sorting`
+/// op's frequency/enablement, `detect_static_agents` and
+/// `enable_mechanics` configure the `agent_ops` kernel, and
+/// `parallel_add_remove` configures `teardown`.
+fn default_scheduler(param: &Param) -> Scheduler {
+    let mut scheduler = Scheduler::new();
+    scheduler.add_op(SnapshotOp);
+    scheduler.add_op(EnvironmentOp);
+    scheduler.add_op(AgentOp);
+    scheduler.add_op_in_bucket(Box::new(DiffusionOp), builtin::STANDALONE_BUCKET);
+    scheduler.add_op(TeardownOp);
+    scheduler.add_op(SortingOp);
+    match param.agent_sort_frequency {
+        Some(freq) if freq > 0 => {
+            scheduler.set_frequency(builtin::AGENT_SORTING, freq as u64);
         }
-        let mut ops = std::mem::take(&mut self.standalone_ops);
-        for (_name, freq, op) in ops.iter_mut() {
-            if self.iteration.is_multiple_of(*freq as u64) {
-                op(self);
-            }
+        _ => {
+            scheduler.set_enabled(builtin::AGENT_SORTING, false);
         }
-        // Ops registered *by* an op land behind the existing ones.
-        let added = std::mem::take(&mut self.standalone_ops);
-        self.standalone_ops = ops;
-        self.standalone_ops.extend(added);
     }
+    scheduler
 }
 
 /// Translates global-index ranges into per-domain ranges (used when NUMA

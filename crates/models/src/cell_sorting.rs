@@ -57,13 +57,15 @@ impl BenchmarkModel for CellSorting {
         }
     }
 
-    fn build(&self, mut param: Param) -> Simulation {
-        param.simulation_time_step = 1.0;
-        param.enable_mechanics = true;
-        param.interaction_radius = Some(self.adhesion_radius);
-        let mut sim = Simulation::new(param);
+    fn build(&self, param: Param) -> Simulation {
         // Repulsion keeps cells apart; adhesion is type-specific (below).
-        sim.set_force(InteractionForce::repulsive_only());
+        let mut sim = Simulation::builder()
+            .with_param(param)
+            .time_step(1.0)
+            .mechanics(true)
+            .interaction_radius(self.adhesion_radius)
+            .force(InteractionForce::repulsive_only())
+            .build();
         let extent = self.extent();
         let mut rng = bdm_core::SimRng::new(sim.param().seed ^ 0x5027);
         for i in 0..self.num_agents {

@@ -59,7 +59,8 @@ pub trait BenchmarkModel: Send + Sync {
     fn validate(&self, sim: &Simulation) -> Vec<(String, f64)>;
 }
 
-/// All five Table 1 models at the given agent scale.
+/// All benchmark models at the given agent scale: the five Table 1 models
+/// plus the Biocellion cell-sorting comparison model (Section 6.5).
 pub fn all_models(num_agents: usize) -> Vec<Box<dyn BenchmarkModel>> {
     vec![
         Box::new(CellProliferation::new(num_agents)),
@@ -67,6 +68,7 @@ pub fn all_models(num_agents: usize) -> Vec<Box<dyn BenchmarkModel>> {
         Box::new(Epidemiology::new(num_agents)),
         Box::new(Neuroscience::new(num_agents)),
         Box::new(Oncology::new(num_agents)),
+        Box::new(CellSorting::new(num_agents)),
     ]
 }
 
@@ -89,7 +91,7 @@ mod registry_tests {
     use super::*;
 
     #[test]
-    fn registry_contains_the_five_models() {
+    fn registry_contains_the_six_models() {
         let models = all_models(100);
         let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
         assert_eq!(
@@ -99,7 +101,8 @@ mod registry_tests {
                 "cell_clustering",
                 "epidemiology",
                 "neuroscience",
-                "oncology"
+                "oncology",
+                "cell_sorting"
             ]
         );
     }
@@ -128,17 +131,17 @@ mod registry_tests {
             .collect();
         assert_eq!(
             agents,
-            vec![12_600_000, 2_000_000, 10_000_000, 9_000_000, 10_000_000]
+            vec![12_600_000, 2_000_000, 10_000_000, 9_000_000, 10_000_000, 26_800_000]
         );
         let iters: Vec<usize> = models
             .iter()
             .map(|m| m.characteristics().paper_iterations)
             .collect();
-        assert_eq!(iters, vec![500, 1000, 1000, 500, 288]);
+        assert_eq!(iters, vec![500, 1000, 1000, 500, 288, 500]);
         let volumes: Vec<usize> = models
             .iter()
             .map(|m| m.characteristics().paper_diffusion_volumes)
             .collect();
-        assert_eq!(volumes, vec![0, 54_000_000, 0, 65_000, 0]);
+        assert_eq!(volumes, vec![0, 54_000_000, 0, 65_000, 0, 0]);
     }
 }

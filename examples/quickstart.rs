@@ -1,4 +1,5 @@
-//! Quickstart: a small population of growing, dividing cells.
+//! Quickstart: a small population of growing, dividing cells, built with
+//! the fluent `Simulation::builder()` API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -7,11 +8,9 @@ use biodynamo::prelude::*;
 
 fn main() {
     // Full optimizations are the default; the standard (unoptimized)
-    // configuration of the paper's evaluation is `Param::standard()`.
-    let mut sim = Simulation::new(Param {
-        simulation_time_step: 1.0,
-        ..Param::default()
-    });
+    // configuration of the paper's evaluation is
+    // `Simulation::builder().opt_level(OptLevel::Standard)`.
+    let mut sim = Simulation::builder().time_step(1.0).build();
 
     // A 4×4×4 grid of cells with the growth+division behavior.
     let mut rng = SimRng::new(42);
@@ -50,15 +49,23 @@ fn main() {
         );
     }
 
-    // The engine's per-phase runtime breakdown (paper Figure 5).
-    println!("\noperation runtime breakdown:");
-    let buckets = sim.time_buckets();
-    for (name, d) in buckets.iter() {
+    // The engine pipeline is a first-class op list: per-operation wall-clock
+    // timings come straight from the scheduler (paper Figure 5).
+    println!("\nscheduler pipeline (execution order):");
+    let total = sim.time_buckets().total().as_secs_f64();
+    for op in sim.scheduler().ops() {
         println!(
-            "  {:20} {:8.2} ms ({:4.1}%)",
-            name,
-            d.as_secs_f64() * 1e3,
-            100.0 * buckets.fraction(name)
+            "  {:20} kind={:10} freq={:3} runs={:3}  {:8.2} ms ({:4.1}%)",
+            op.name,
+            op.kind.label(),
+            op.frequency,
+            op.runs,
+            op.total.as_secs_f64() * 1e3,
+            if total > 0.0 {
+                100.0 * op.total.as_secs_f64() / total
+            } else {
+                0.0
+            },
         );
     }
 }

@@ -2,10 +2,38 @@
 //! proliferation with stochastic apoptosis — the only workload that removes
 //! agents, exercising the parallel removal algorithm of paper Figure 1.
 //!
+//! Population progress is reported by a custom [`Operation`] scheduled
+//! every 10th iteration on the engine pipeline.
+//!
 //! Run with: `cargo run --release --example tumor_spheroid -- [cells] [iterations]`
 
 use biodynamo::models::{BenchmarkModel, Oncology};
 use biodynamo::prelude::*;
+
+/// Prints cell counts and cumulative add/remove statistics.
+struct GrowthReport;
+
+impl Operation for GrowthReport {
+    fn name(&self) -> &str {
+        "growth_report"
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Post
+    }
+    fn frequency(&self) -> u64 {
+        10
+    }
+    fn run(&mut self, ctx: &mut SimulationCtx<'_>) {
+        let stats = ctx.stats();
+        println!(
+            "iter {:4}: {:7} cells (+{} / -{})",
+            ctx.iteration(),
+            ctx.num_agents(),
+            stats.agents_added,
+            stats.agents_removed
+        );
+    }
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -14,6 +42,7 @@ fn main() {
 
     let model = Oncology::new(cells);
     let mut sim = model.build(Param::default());
+    sim.scheduler_mut().add_op(GrowthReport);
     println!(
         "tumor spheroid: {} cells, {} iterations, engine={} threads / {} NUMA domains",
         sim.num_agents(),
@@ -22,17 +51,7 @@ fn main() {
         sim.topology().num_domains(),
     );
 
-    for _ in 0..iterations / 10 {
-        sim.simulate(10);
-        let stats = sim.stats();
-        println!(
-            "iter {:4}: {:7} cells (+{} / -{})",
-            sim.iteration(),
-            sim.num_agents(),
-            stats.agents_added,
-            stats.agents_removed
-        );
-    }
+    sim.simulate(iterations);
 
     // Radial profile of the final spheroid.
     let mut center = Real3::ZERO;

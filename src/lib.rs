@@ -27,11 +27,10 @@
 //!
 //! // 8 static cells stepped through the full engine, 2 threads.
 //! // (See examples/quickstart.rs for a growing/dividing population.)
-//! let mut sim = Simulation::new(Param {
-//!     threads: Some(2),
-//!     simulation_time_step: 1.0,
-//!     ..Param::default()
-//! });
+//! let mut sim = Simulation::builder()
+//!     .threads(2)
+//!     .time_step(1.0)
+//!     .build();
 //! for i in 0..8 {
 //!     let uid = sim.new_uid();
 //!     sim.add_agent(
@@ -43,6 +42,32 @@
 //! sim.simulate(10);
 //! assert_eq!(sim.num_agents(), 8);
 //! ```
+//!
+//! The engine pipeline is a first-class, per-operation-timed list owned by
+//! the [`core::scheduler::Scheduler`]; custom pipeline stages implement
+//! [`core::scheduler::Operation`] and are registered through the builder:
+//!
+//! ```
+//! use biodynamo::prelude::*;
+//!
+//! struct Census;
+//! impl Operation for Census {
+//!     fn name(&self) -> &str { "census" }
+//!     fn kind(&self) -> OpKind { OpKind::Standalone }
+//!     fn frequency(&self) -> u64 { 5 } // every 5th iteration
+//!     fn run(&mut self, ctx: &mut SimulationCtx<'_>) {
+//!         let _agents_alive = ctx.num_agents();
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::builder().threads(1).operation(Census).build();
+//! sim.simulate(10);
+//! assert_eq!(sim.scheduler().ops().iter().find(|o| o.name == "census").unwrap().runs, 2);
+//! ```
+//!
+//! **Migration note:** `Simulation::new(Param { .. })` stays fully
+//! supported — [`core::param::Param`] remains the configuration carrier
+//! underneath the builder.
 
 pub use bdm_alloc as alloc;
 pub use bdm_baseline as baseline;
@@ -61,7 +86,8 @@ pub mod prelude {
         clone_agent_box, clone_behavior_box, new_agent_box, new_behavior_box, Agent, AgentBase,
         AgentBox, AgentContext, AgentHandle, AgentUid, Behavior, BehaviorBox, BehaviorControl,
         BoundaryCondition, Cell, CloneIn, CurveKind, DiffusionGrid, EnvironmentKind,
-        InteractionForce, MemoryManager, OptLevel, Param, Real3, SimRng, SimStats, Simulation,
+        InteractionForce, MemoryManager, OpInfo, OpKind, Operation, OptLevel, Param, Real3,
+        Scheduler, SimRng, SimStats, Simulation, SimulationBuilder, SimulationCtx,
     };
     pub use bdm_models::BenchmarkModel;
 }

@@ -129,6 +129,50 @@ fn population_invariant_under_sorting_and_environment() {
 }
 
 #[test]
+fn scheduler_extraction_preserves_bit_reproducibility() {
+    // The op-extraction refactor must not change execution order: a
+    // builder-built simulation (scheduler pipeline) and a Param-built one
+    // must produce bit-identical states, and injecting a read-only custom
+    // operation must not perturb the simulation either.
+    struct ReadOnlyProbe;
+    impl Operation for ReadOnlyProbe {
+        fn name(&self) -> &str {
+            "readonly_probe"
+        }
+        fn kind(&self) -> OpKind {
+            OpKind::Standalone
+        }
+        fn frequency(&self) -> u64 {
+            2
+        }
+        fn run(&mut self, ctx: &mut SimulationCtx<'_>) {
+            let _ = ctx.num_agents();
+        }
+    }
+
+    for model in all_models(120) {
+        let param = Param {
+            threads: Some(1),
+            numa_domains: Some(1),
+            seed: 99,
+            ..Param::default()
+        };
+        let via_param = snapshot(&run(model.as_ref(), param.clone(), 10));
+        let mut built = model.build(param.clone());
+        // Same pipeline, registered through the public scheduler API.
+        built.scheduler_mut().add_op(ReadOnlyProbe);
+        built.simulate(10);
+        let via_builder = snapshot(&built);
+        assert_eq!(
+            via_param,
+            via_builder,
+            "{}: scheduler pipeline must be bit-identical",
+            model.name()
+        );
+    }
+}
+
+#[test]
 fn epidemiology_infections_are_seed_deterministic() {
     // SIR state transitions draw from the per-agent deterministic RNG
     // stream; infection counts must reproduce exactly on one thread.

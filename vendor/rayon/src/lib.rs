@@ -6,25 +6,205 @@
 //! `reduce` / `zip` / `enumerate` / `for_each` / `collect` combinators — on
 //! top of `std::thread::scope`.
 //!
-//! Unlike real rayon there is no work-stealing pool: each parallel operation
-//! splits its items into up to [`current_num_threads`] contiguous chunks and
-//! runs them on freshly spawned scoped threads. That keeps semantics (each
-//! item processed exactly once, `collect` preserves order) while remaining a
-//! few hundred lines. The engine's own hot loops run on `bdm_numa`'s
-//! work-stealing pool; rayon only backs a handful of leaf utilities.
+//! Unlike real rayon there is no work stealing: each parallel operation
+//! splits its items into up to [`current_num_threads`] contiguous chunks;
+//! chunks are claimed from a shared atomic cursor by the pool's workers plus
+//! the calling thread. The pool is **persistent** — created lazily on the
+//! first parallel call, workers park on a condvar between jobs — so repeated
+//! leaf calls (`bdm_util::prefix_sum`, `bdm_diffusion`,
+//! `bdm_env::uniform_grid`) no longer pay a thread spawn/join per call.
+//! Semantics are preserved: each item is processed exactly once, `collect`
+//! preserves order, and worker panics propagate to the caller. The engine's
+//! own hot loops run on `bdm_numa`'s work-stealing pool; rayon only backs a
+//! handful of leaf utilities.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 
-/// Number of threads parallel operations may use (the shim has no configured
-/// pool, so this is the machine's available parallelism).
+/// Number of threads parallel operations may use: the `RAYON_NUM_THREADS`
+/// environment variable (as in real rayon) or the machine's available
+/// parallelism. Cached on first use — the persistent pool is sized once.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+thread_local! {
+    /// True on pool worker threads: a nested parallel call from inside a
+    /// worker must run serially instead of waiting on its own pool.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Type-erased job pointer. Sound because [`Pool::run`] blocks until every
+/// worker reported done with the job before the referent goes out of scope.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn() + Sync + 'static));
+unsafe impl Send for JobPtr {}
+
+struct JobSlot {
+    seq: u64,
+    job: Option<JobPtr>,
+}
+
+struct Shared {
+    slot: Mutex<JobSlot>,
+    job_cv: Condvar,
+    done: Mutex<usize>,
+    done_cv: Condvar,
+    /// First panic payload raised by a worker during the current job;
+    /// re-raised on the caller thread.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// The process-wide persistent worker pool.
+struct Pool {
+    shared: &'static Shared,
+    workers: usize,
+    /// Serializes jobs: one parallel operation owns the pool at a time
+    /// (concurrent callers block here and run back to back).
+    run_guard: Mutex<()>,
+}
+
+impl Pool {
+    /// Publishes `f` to every worker, executes it on the caller too, and
+    /// blocks until all workers finished. Worker panics are re-raised on
+    /// the caller after the job fully drained.
+    fn run(&self, f: &(dyn Fn() + Sync)) {
+        let _guard = lock(&self.run_guard);
+        // Erase the lifetime: workers only dereference the pointer while
+        // this function blocks waiting for them.
+        let job = JobPtr(unsafe {
+            std::mem::transmute::<*const (dyn Fn() + Sync), *const (dyn Fn() + Sync + 'static)>(
+                f as *const _,
+            )
+        });
+        *lock(&self.shared.done) = 0;
+        {
+            let mut slot = lock(&self.shared.slot);
+            slot.seq += 1;
+            slot.job = Some(job);
+            self.shared.job_cv.notify_all();
+        }
+        // The caller participates; its panic must not unwind past the wait
+        // below while workers still borrow the closure. While it executes
+        // the job it counts as a pool participant, so a nested parallel
+        // call from inside the closure degrades to serial instead of
+        // deadlocking on the (non-reentrant) run guard.
+        let prev = IS_POOL_WORKER.with(|w| w.replace(true));
+        let caller_panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).err();
+        IS_POOL_WORKER.with(|w| w.set(prev));
+        let mut done = lock(&self.shared.done);
+        while *done < self.workers {
+            done = self
+                .shared
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        drop(done);
+        // Do not leave a dangling pointer in the slot.
+        lock(&self.shared.slot).job = None;
+        let worker_panic = lock(&self.shared.panic).take();
+        if let Some(payload) = caller_panic.or(worker_panic) {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Locks ignoring poison: the pool's state stays consistent across panicking
+/// jobs (panics are stashed and re-raised by [`Pool::run`]).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop(shared: &'static Shared) {
+    IS_POOL_WORKER.with(|w| w.set(true));
+    let mut last_seq = 0u64;
+    loop {
+        let job = {
+            let mut slot = lock(&shared.slot);
+            loop {
+                if slot.seq != last_seq {
+                    if let Some(job) = slot.job {
+                        last_seq = slot.seq;
+                        break job;
+                    }
+                    // Stale seq bump with the job already cleared: skip it.
+                    last_seq = slot.seq;
+                }
+                slot = shared.job_cv.wait(slot).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // SAFETY: `Pool::run` keeps the closure alive until all workers
+        // reported done.
+        let f = unsafe { &*job.0 };
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            let mut first = lock(&shared.panic);
+            if first.is_none() {
+                *first = Some(payload);
+            }
+        }
+        let mut done = lock(&shared.done);
+        *done += 1;
+        shared.done_cv.notify_all();
+    }
+}
+
+/// The lazily created process-wide pool; `None` when the machine has a
+/// single hardware thread or spawning failed (callers fall back to serial).
+fn pool() -> Option<&'static Pool> {
+    static POOL: OnceLock<Option<Pool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        // One worker per extra hardware thread; the caller is the final
+        // executor, so worker count is parallelism - 1.
+        let workers = current_num_threads().saturating_sub(1);
+        if workers == 0 {
+            return None;
+        }
+        let shared: &'static Shared = Box::leak(Box::new(Shared {
+            slot: Mutex::new(JobSlot { seq: 0, job: None }),
+            job_cv: Condvar::new(),
+            done: Mutex::new(0),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }));
+        let mut spawned = 0;
+        for i in 0..workers {
+            let ok = std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || worker_loop(shared))
+                .is_ok();
+            if !ok {
+                break;
+            }
+            spawned += 1;
+        }
+        if spawned == 0 {
+            return None;
+        }
+        Some(Pool {
+            shared,
+            workers: spawned,
+            run_guard: Mutex::new(()),
+        })
+    })
+    .as_ref()
 }
 
 /// Splits `items` into at most `current_num_threads()` contiguous chunks and
-/// maps each chunk on its own scoped thread; concatenation preserves order.
+/// maps each chunk on the persistent pool (workers + the calling thread
+/// claim chunks from a shared cursor); concatenation preserves order.
 fn run_chunked<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -33,31 +213,42 @@ where
 {
     let n = items.len();
     let threads = current_num_threads().min(n);
-    if threads <= 1 {
+    if threads <= 1 || IS_POOL_WORKER.with(|w| w.get()) {
         return items.into_iter().map(f).collect();
     }
+    let Some(pool) = pool() else {
+        return items.into_iter().map(f).collect();
+    };
     let chunk_len = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut chunks: Vec<Mutex<Option<Vec<T>>>> = Vec::with_capacity(threads);
     let mut it = items.into_iter();
     loop {
         let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
         if chunk.is_empty() {
             break;
         }
-        chunks.push(chunk);
+        chunks.push(Mutex::new(Some(chunk)));
     }
+    let results: Vec<Mutex<Option<Vec<R>>>> = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
     let f = &f;
-    let per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shim worker panicked"))
-            .collect()
+    pool.run(&|| loop {
+        let c = cursor.fetch_add(1, Ordering::Relaxed);
+        if c >= chunks.len() {
+            break;
+        }
+        let chunk = lock(&chunks[c]).take().expect("chunk claimed once");
+        let mapped: Vec<R> = chunk.into_iter().map(f).collect();
+        *lock(&results[c]) = Some(mapped);
     });
-    per_chunk.into_iter().flatten().collect()
+    results
+        .into_iter()
+        .flat_map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("chunk result present")
+        })
+        .collect()
 }
 
 /// An eager "parallel iterator": the item list is materialized up front and
@@ -262,8 +453,21 @@ mod tests {
     use super::prelude::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
+    /// Forces a multi-worker pool before the thread-count cache and the pool
+    /// initialize, so the pool code path is exercised even on single-core
+    /// machines. Every test calls this first.
+    fn force_pool() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            if std::env::var("RAYON_NUM_THREADS").is_err() {
+                std::env::set_var("RAYON_NUM_THREADS", "4");
+            }
+        });
+    }
+
     #[test]
     fn for_each_visits_every_item_once() {
+        force_pool();
         let hits: Vec<AtomicUsize> = (0..10_000).map(|_| AtomicUsize::new(0)).collect();
         (0..10_000usize).into_par_iter().for_each(|i| {
             hits[i].fetch_add(1, Ordering::Relaxed);
@@ -273,6 +477,7 @@ mod tests {
 
     #[test]
     fn map_collect_preserves_order() {
+        force_pool();
         let doubled: Vec<usize> = (0..5_000usize).into_par_iter().map(|i| i * 2).collect();
         let expected: Vec<usize> = (0..5_000).map(|i| i * 2).collect();
         assert_eq!(doubled, expected);
@@ -280,6 +485,7 @@ mod tests {
 
     #[test]
     fn fold_reduce_matches_serial_sum() {
+        force_pool();
         let total = (0..100_000usize)
             .into_par_iter()
             .fold(|| 0usize, |acc, i| acc + i)
@@ -289,6 +495,7 @@ mod tests {
 
     #[test]
     fn chunks_zip_enumerate() {
+        force_pool();
         let mut data = vec![1usize; 100];
         let offsets: Vec<usize> = (0..10).map(|i| i * 100).collect();
         data.par_chunks_mut(10)
@@ -307,9 +514,82 @@ mod tests {
 
     #[test]
     fn empty_inputs_are_fine() {
+        force_pool();
         let v: Vec<usize> = Vec::new();
         v.into_par_iter().for_each(|_| unreachable!());
         let collected: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
         assert!(collected.is_empty());
+    }
+
+    #[test]
+    fn pool_survives_many_consecutive_jobs() {
+        force_pool();
+        // The persistent pool must stay correct across back-to-back jobs
+        // (the old shim spawned fresh scoped threads per call; the pool
+        // reuses its workers).
+        for round in 0..200usize {
+            let sum: usize = (0..1_000usize)
+                .into_par_iter()
+                .fold(|| 0usize, |acc, i| acc + i + round)
+                .reduce(|| 0, |a, b| a + b);
+            assert_eq!(sum, (0..1_000).sum::<usize>() + round * 1_000);
+        }
+    }
+
+    #[test]
+    fn concurrent_callers_serialize_safely() {
+        force_pool();
+        // Multiple OS threads issuing parallel operations at once must each
+        // get correct results (jobs serialize through the pool's run guard).
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    scope.spawn(move || {
+                        let doubled: Vec<usize> =
+                            (0..5_000usize).into_par_iter().map(|i| i * 2 + t).collect();
+                        doubled.iter().enumerate().all(|(i, &v)| v == i * 2 + t)
+                    })
+                })
+                .collect();
+            for h in handles {
+                assert!(h.join().expect("caller thread panicked"));
+            }
+        });
+    }
+
+    #[test]
+    fn nested_parallel_calls_degrade_to_serial() {
+        force_pool();
+        // A parallel call from inside a parallel closure must not deadlock.
+        let totals: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                (0..100usize)
+                    .into_par_iter()
+                    .map(|j| i + j)
+                    .collect::<Vec<_>>()
+                    .len()
+            })
+            .collect();
+        assert_eq!(totals, vec![100; 8]);
+    }
+
+    #[test]
+    fn panic_in_job_propagates_and_pool_survives() {
+        force_pool();
+        let caught = std::panic::catch_unwind(|| {
+            (0..1_000usize).into_par_iter().for_each(|i| {
+                if i == 567 {
+                    panic!("item 567 exploded");
+                }
+            });
+        });
+        assert!(caught.is_err(), "panic must reach the caller");
+        // The pool must remain fully usable afterwards.
+        let sum: usize = (0..1_000usize)
+            .into_par_iter()
+            .fold(|| 0usize, |a, i| a + i)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(sum, (0..1_000).sum());
     }
 }
