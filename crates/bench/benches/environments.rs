@@ -9,7 +9,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use bdm_env::{
-    Environment, KdTreeEnvironment, OctreeEnvironment, SliceCloud, UniformGridEnvironment,
+    Environment, KdTreeEnvironment, NeighborQueryScratch, OctreeEnvironment, SliceCloud,
+    UniformGridEnvironment,
 };
 use bdm_util::{Real3, SimRng};
 
@@ -54,15 +55,21 @@ fn bench_search(c: &mut Criterion) {
         ("kd_tree", Box::new(KdTreeEnvironment::new())),
         ("octree", Box::new(OctreeEnvironment::new())),
     ];
+    let mut scratch = NeighborQueryScratch::new();
     for (name, mut env) in envs {
         env.update(&slice, radius);
         group.bench_function(BenchmarkId::new(name, n), |b| {
             b.iter(|| {
                 let mut acc = 0usize;
                 for (i, &p) in points.iter().enumerate().step_by(17) {
-                    env.for_each_neighbor(&slice, p, Some(i), radius, &mut |j, _d2| {
-                        acc = acc.wrapping_add(j)
-                    });
+                    env.for_each_neighbor(
+                        &slice,
+                        p,
+                        Some(i),
+                        radius,
+                        &mut scratch,
+                        &mut |j, _d2| acc = acc.wrapping_add(j),
+                    );
                 }
                 black_box(acc)
             })
@@ -109,13 +116,19 @@ fn bench_tree_parameters(c: &mut Criterion) {
             &bucket,
             |b, &bucket| {
                 let mut env = OctreeEnvironment::with_bucket_size(bucket);
+                let mut scratch = NeighborQueryScratch::new();
                 b.iter(|| {
                     env.update(black_box(&slice), radius);
                     let mut acc = 0usize;
                     for (i, &p) in points.iter().enumerate().step_by(29) {
-                        env.for_each_neighbor(&slice, p, Some(i), radius, &mut |j, _| {
-                            acc = acc.wrapping_add(j)
-                        });
+                        env.for_each_neighbor(
+                            &slice,
+                            p,
+                            Some(i),
+                            radius,
+                            &mut scratch,
+                            &mut |j, _| acc = acc.wrapping_add(j),
+                        );
                     }
                     black_box(acc)
                 })
@@ -125,11 +138,12 @@ fn bench_tree_parameters(c: &mut Criterion) {
     for &leaf in &[8usize, 16, 32, 64, 128] {
         group.bench_with_input(BenchmarkId::new("kd_leaf", leaf), &leaf, |b, &leaf| {
             let mut env = KdTreeEnvironment::with_leaf_size(leaf);
+            let mut scratch = NeighborQueryScratch::new();
             b.iter(|| {
                 env.update(black_box(&slice), radius);
                 let mut acc = 0usize;
                 for (i, &p) in points.iter().enumerate().step_by(29) {
-                    env.for_each_neighbor(&slice, p, Some(i), radius, &mut |j, _| {
+                    env.for_each_neighbor(&slice, p, Some(i), radius, &mut scratch, &mut |j, _| {
                         acc = acc.wrapping_add(j)
                     });
                 }

@@ -28,6 +28,13 @@ pub struct Args {
     pub quick: bool,
     /// `--max-exp E` — largest power of ten in the Figure 6 sweep.
     pub max_exp: Option<u32>,
+    /// `--max-agents N` — largest scale point of the Figure 6 sweep
+    /// (overrides `--max-exp`; the sweep runs 10³, 10⁴, … and finishes at
+    /// exactly `N`).
+    pub max_agents: Option<usize>,
+    /// `--phase-csv` — additionally write `<out>/fig06_phases.csv` with the
+    /// scheduler's per-operation timings per scale point.
+    pub phase_csv: bool,
     /// `--visualize` — dump a point cloud CSV (Figure 7a).
     pub visualize: bool,
     /// `--proxy` — include the micro-architecture proxy (Figure 5 right).
@@ -55,6 +62,8 @@ impl Default for Args {
             out_dir: PathBuf::from("results"),
             quick: false,
             max_exp: None,
+            max_agents: None,
+            phase_csv: false,
             visualize: false,
             proxy: false,
             whole: false,
@@ -80,6 +89,10 @@ Common flags:
   --out DIR         output directory for CSV files (default: results)
   --quick           smallest sensible scales (for run_all / CI)
   --max-exp E       largest 10^E of the Figure 6 sweep (default 5)
+  --max-agents N    largest Figure 6 scale point (overrides --max-exp; the
+                    sweep runs 10^3, 10^4, ... and finishes at exactly N)
+  --phase-csv       also write fig06_phases.csv (per-operation timings per
+                    scale point, from the scheduler)
   --visualize       dump the Figure 7a point cloud CSV
   --proxy           include the microarchitecture proxy (Figure 5 right)
   --whole           whole-simulation scalability only (Figure 10a)
@@ -113,6 +126,7 @@ impl Args {
                 "-h" | "--help" => return Err(String::new()),
                 "--csv" => args.csv = true,
                 "--quick" => args.quick = true,
+                "--phase-csv" => args.phase_csv = true,
                 "--visualize" => args.visualize = true,
                 "--proxy" => args.proxy = true,
                 "--whole" => args.whole = true,
@@ -155,6 +169,7 @@ impl Args {
                     .map_err(|_| format!("--max-exp: not a number: {v}"))?,
             );
         }
+        args.max_agents = parse_usize(&values, "max-agents")?;
         if let Some(v) = values.get("out") {
             args.out_dir = PathBuf::from(v);
         }
@@ -169,6 +184,7 @@ impl Args {
             "repeats",
             "seed",
             "max-exp",
+            "max-agents",
             "out",
             "models",
         ];
@@ -271,6 +287,19 @@ mod tests {
     #[test]
     fn missing_value_rejected() {
         assert!(parse("--agents").unwrap_err().contains("expects a value"));
+    }
+
+    #[test]
+    fn sweep_flags() {
+        let a = parse("--max-agents 1000000 --phase-csv").unwrap();
+        assert_eq!(a.max_agents, Some(1_000_000));
+        assert!(a.phase_csv);
+        let b = parse("").unwrap();
+        assert_eq!(b.max_agents, None);
+        assert!(!b.phase_csv);
+        assert!(parse("--max-agents x")
+            .unwrap_err()
+            .contains("not a number"));
     }
 
     #[test]

@@ -26,7 +26,7 @@ use bdm_core::{OptLevel, Param};
 use bdm_models::{cell_sorting::dump_positions_csv, BenchmarkModel, CellSorting};
 use bdm_util::Table;
 
-/// Published Biocellion results (Kang et al. [33], as cited in the paper).
+/// Published Biocellion results (Kang et al. \[33\], as cited in the paper).
 const BIOCELLION: [(&str, f64, f64, f64); 3] = [
     ("small (26.8M, 16 cores)", 26.8e6, 16.0, 7.48),
     ("medium (281.4M, 672 cores)", 281.4e6, 672.0, 4.37),

@@ -14,7 +14,7 @@
 
 use bdm_alloc::MemoryManager;
 use bdm_diffusion::DiffusionGrid;
-use bdm_env::{Environment, PointCloud};
+use bdm_env::{Environment, NeighborQueryScratch, PointCloud};
 use bdm_util::{Real3, SimRng};
 
 use crate::agent::{new_agent_box, Agent, AgentBox, AgentHandle, AgentUid};
@@ -107,6 +107,12 @@ pub struct ExecutionContext {
     pub(crate) force_calculations: u64,
     /// Mechanics statistics: agents skipped as static (paper Section 5).
     pub(crate) static_skipped: u64,
+    /// Reusable neighbor-query scratch: queries issued through this thread's
+    /// [`AgentContext`] allocate nothing in steady state.
+    pub(crate) query_scratch: NeighborQueryScratch,
+    /// Reusable neighbor-index buffer of the mechanics operation (static
+    /// detection collects the neighborhood to wake it on movement).
+    pub(crate) mech_neighbors: Vec<u32>,
 }
 
 impl ExecutionContext {
@@ -196,27 +202,31 @@ impl<'a> AgentContext<'a> {
 
     /// Visits every neighbor within `radius` of `pos`, excluding the current
     /// agent. The callback receives `(global index, data, distance²)` — all
-    /// reads go to the immutable snapshot, never to live agents.
+    /// reads go to the immutable snapshot, never to live agents. Queries
+    /// reuse this thread's [`NeighborQueryScratch`], so they allocate
+    /// nothing in steady state (hence `&mut self`).
     pub fn for_each_neighbor(
-        &self,
+        &mut self,
         pos: Real3,
         radius: f64,
         mut f: impl FnMut(usize, &NeighborData, f64),
     ) {
         let cloud = SnapshotCloud(self.snapshot);
         let data = &self.snapshot.data;
+        let scratch = &mut self.exec.query_scratch;
         self.env.for_each_neighbor(
             &cloud,
             pos,
             Some(self.self_global),
             radius,
+            scratch,
             &mut |idx, d2| f(idx, &data[idx], d2),
         );
     }
 
     /// Counts neighbors within `radius` of `pos` satisfying `pred`.
     pub fn count_neighbors(
-        &self,
+        &mut self,
         pos: Real3,
         radius: f64,
         mut pred: impl FnMut(&NeighborData) -> bool,

@@ -12,15 +12,17 @@
 //! * [`context`] — thread-local execution contexts and the data-race-free
 //!   neighbor snapshot.
 //! * [`force`] — the Cortex3D-style interaction force.
-//! * [`ops`] — behavior execution and mechanics with static-agent detection
+//! * `ops` (crate-private) — behavior execution and mechanics with static-agent detection
 //!   (Section 5).
-//! * [`sorting`] — Morton-order agent sorting and NUMA balancing
+//! * `sorting` (crate-private) — Morton-order agent sorting and NUMA balancing
 //!   (Section 4.2, Figure 3).
 //! * [`param`] — parameters and the optimization ladder of the evaluation.
 //! * [`scheduler`] — the first-class [`Operation`] pipeline of Algorithm 1:
 //!   ordered op list, per-op frequencies and timings, built-in phases.
 //! * [`builder`] — fluent [`SimulationBuilder`] construction.
 //! * [`simulation`] — the simulation object driving the scheduler.
+
+#![warn(missing_docs)]
 
 pub mod agent;
 pub mod behavior;

@@ -5,6 +5,11 @@
 //! (all optimizations off, kd-tree environment). [`OptLevel`] encodes that
 //! cumulative ladder; [`Param::apply_opt_level`] configures a parameter set
 //! accordingly.
+//!
+//! [`Param`] is the configuration *carrier*: prefer the fluent
+//! [`Simulation::builder()`](crate::simulation::Simulation::builder) at
+//! call sites; struct-literal construction (`Param { .. }`) remains fully
+//! supported for models and tests that sweep parameters programmatically.
 
 use bdm_env::EnvironmentKind;
 use bdm_sfc::CurveKind;

@@ -188,6 +188,38 @@ enum DeferredEdit {
 
 /// Owner of the ordered operation list; drives which operations are due
 /// each iteration and accumulates per-operation wall-clock timings.
+///
+/// # Example
+///
+/// Operations register into kind groups and can be re-timed, toggled, and
+/// inspected by name:
+///
+/// ```
+/// use bdm_core::scheduler::{OpKind, Operation, Scheduler, SimulationCtx};
+///
+/// struct Census;
+/// impl Operation for Census {
+///     fn name(&self) -> &str { "census" }
+///     fn kind(&self) -> OpKind { OpKind::Standalone }
+///     fn frequency(&self) -> u64 { 5 } // every 5th iteration
+///     fn run(&mut self, ctx: &mut SimulationCtx<'_>) {
+///         let _agents = ctx.num_agents();
+///     }
+/// }
+///
+/// let mut scheduler = Scheduler::new();
+/// scheduler.add_op(Census);
+/// assert_eq!(scheduler.frequency("census"), Some(5));
+/// assert!(scheduler.is_enabled("census"));
+///
+/// scheduler.set_frequency("census", 2); // re-time at runtime
+/// scheduler.set_enabled("census", false); // or park it without removing
+/// assert_eq!(scheduler.op_names(), vec!["census"]);
+/// ```
+///
+/// Inside a running [`Simulation`] the scheduler owns the whole pipeline —
+/// the built-in phases are ordinary operations (see [`builtin`]) — and
+/// [`Scheduler::ops`] reports their accumulated wall-clock timings.
 #[derive(Default)]
 pub struct Scheduler {
     entries: Vec<ScheduledOp>,

@@ -1,6 +1,7 @@
 //! The simulation object (paper Section 2, Algorithm 1).
 //!
-//! One iteration is an ordered list of [`Operation`]s owned by the
+//! One iteration is an ordered list of
+//! [`Operation`](crate::scheduler::Operation)s owned by the
 //! [`Scheduler`]; [`Simulation::step`] contains no phase logic itself — for
 //! each due operation it times it and runs it. The default pipeline:
 //!
@@ -144,6 +145,17 @@ impl Simulation {
     }
 
     /// A fluent builder with default parameters (see [`SimulationBuilder`]).
+    ///
+    /// ```
+    /// use bdm_core::{Cell, Real3, Simulation};
+    ///
+    /// let mut sim = Simulation::builder().threads(2).time_step(1.0).build();
+    /// let uid = sim.new_uid();
+    /// sim.add_agent(Cell::new(uid).with_position(Real3::splat(5.0)));
+    /// sim.simulate(3);
+    /// assert_eq!(sim.num_agents(), 1);
+    /// assert_eq!(sim.iteration(), 3);
+    /// ```
     pub fn builder() -> SimulationBuilder {
         SimulationBuilder::new()
     }
@@ -544,7 +556,11 @@ impl Simulation {
             move |worker: bdm_numa::WorkerCtx, domain: usize, range: std::ops::Range<usize>| {
                 // SAFETY: each worker accesses only its own execution context.
                 let exec = unsafe { ctxs_ptr.get_mut(worker.thread_id) };
-                let mut neighbor_scratch: Vec<u32> = Vec::new();
+                // The mechanics neighbor buffer persists across blocks and
+                // iterations on this thread (zero allocation in steady
+                // state); it is taken out of the context so the context can
+                // be mutably borrowed by the agent context below.
+                let mut neighbor_scratch = std::mem::take(&mut exec.mech_neighbors);
                 for i in range {
                     // SAFETY: each (domain, i) is processed by exactly one task.
                     let agent_box = unsafe { agent_ptrs[domain].get_mut(i) };
@@ -580,6 +596,7 @@ impl Simulation {
                         );
                     }
                 }
+                exec.mech_neighbors = neighbor_scratch;
             };
         let block = self.param.iteration_block_size;
         if self.param.numa_aware_iteration {

@@ -7,7 +7,7 @@
 
 use bdm_util::Real3;
 
-use crate::{Environment, PointCloud};
+use crate::{Environment, NeighborQueryScratch, PointCloud};
 
 /// Brute-force fixed-radius search over a cached copy of the positions.
 #[derive(Debug, Default)]
@@ -42,6 +42,7 @@ impl Environment for BruteForceEnvironment {
         pos: Real3,
         exclude: Option<usize>,
         radius: f64,
+        _scratch: &mut NeighborQueryScratch,
         visit: &mut dyn FnMut(usize, f64),
     ) {
         let r2 = radius * radius;

@@ -9,7 +9,7 @@
 
 use bdm_util::Real3;
 
-use crate::{Environment, PointCloud};
+use crate::{Environment, NeighborQueryScratch, PointCloud};
 
 /// Default leaf bucket size (matches nanoflann's common default).
 pub const DEFAULT_LEAF_SIZE: usize = 10;
@@ -105,45 +105,55 @@ impl KdTreeEnvironment {
         id
     }
 
+    /// Iterative radius search over an explicit node stack — the stack
+    /// lives in the caller's [`NeighborQueryScratch`], so repeated queries
+    /// perform no allocation (the recursive formulation would be
+    /// allocation-free too, but the explicit stack caps the depth cost and
+    /// matches the octree's traversal).
     fn search(
         &self,
-        node: u32,
+        root: u32,
         pos: Real3,
         exclude: Option<usize>,
         r: f64,
         r2: f64,
+        stack: &mut Vec<u32>,
         visit: &mut dyn FnMut(usize, f64),
     ) {
-        match &self.nodes[node as usize] {
-            Node::Leaf { start, end } => {
-                for &i in &self.indices[*start as usize..*end as usize] {
-                    let idx = i as usize;
-                    if Some(idx) == exclude {
-                        continue;
-                    }
-                    let d2 = pos.distance_sq(&self.positions[idx]);
-                    if d2 <= r2 {
-                        visit(idx, d2);
+        stack.clear();
+        stack.push(root);
+        while let Some(node) = stack.pop() {
+            match &self.nodes[node as usize] {
+                Node::Leaf { start, end } => {
+                    for &i in &self.indices[*start as usize..*end as usize] {
+                        let idx = i as usize;
+                        if Some(idx) == exclude {
+                            continue;
+                        }
+                        let d2 = pos.distance_sq(&self.positions[idx]);
+                        if d2 <= r2 {
+                            visit(idx, d2);
+                        }
                     }
                 }
-            }
-            Node::Split {
-                axis,
-                value,
-                left,
-                right,
-            } => {
-                let delta = pos[*axis] - *value;
-                // Descend the near side first, prune the far side by the
-                // distance to the splitting plane.
-                let (near, far) = if delta < 0.0 {
-                    (*left, *right)
-                } else {
-                    (*right, *left)
-                };
-                self.search(near, pos, exclude, r, r2, visit);
-                if delta.abs() <= r {
-                    self.search(far, pos, exclude, r, r2, visit);
+                Node::Split {
+                    axis,
+                    value,
+                    left,
+                    right,
+                } => {
+                    let delta = pos[*axis] - *value;
+                    // Descend the near side first, prune the far side by
+                    // the distance to the splitting plane.
+                    let (near, far) = if delta < 0.0 {
+                        (*left, *right)
+                    } else {
+                        (*right, *left)
+                    };
+                    if delta.abs() <= r {
+                        stack.push(far);
+                    }
+                    stack.push(near);
                 }
             }
         }
@@ -183,10 +193,19 @@ impl Environment for KdTreeEnvironment {
         pos: Real3,
         exclude: Option<usize>,
         radius: f64,
+        scratch: &mut NeighborQueryScratch,
         visit: &mut dyn FnMut(usize, f64),
     ) {
         if let Some(root) = self.root {
-            self.search(root, pos, exclude, radius, radius * radius, visit);
+            self.search(
+                root,
+                pos,
+                exclude,
+                radius,
+                radius * radius,
+                &mut scratch.node_stack,
+                visit,
+            );
         }
     }
 

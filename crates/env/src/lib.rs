@@ -16,6 +16,14 @@
 //!
 //! Environments index any [`PointCloud`]; the engine adapts its resource
 //! manager to this trait, and tests use plain position slices.
+//!
+//! Queries are **allocation-free**: every call to
+//! [`Environment::for_each_neighbor`] threads a caller-owned
+//! [`NeighborQueryScratch`] through the index so that tree traversals reuse
+//! one node stack instead of allocating per query. The engine keeps one
+//! scratch per worker thread; tests and examples create one on the stack.
+
+#![warn(missing_docs)]
 
 pub mod brute;
 pub mod kdtree;
@@ -64,6 +72,33 @@ impl PointCloud for SliceCloud<'_> {
     }
 }
 
+/// Reusable per-thread scratch space for neighbor queries.
+///
+/// Fixed-radius queries must not allocate on the hot path (paper
+/// Challenge 1: the neighbor phase dominates at 10⁶+ agents). Environments
+/// that need traversal state — the kd-tree and octree node stacks — borrow
+/// it from this scratch instead of allocating per query; the uniform grid
+/// needs none. The buffers grow to a high-water mark on the first queries
+/// and are reused afterwards, so steady-state queries perform **zero**
+/// allocations.
+///
+/// The engine owns one scratch per worker thread (inside its per-thread
+/// execution context); standalone callers create one with
+/// [`NeighborQueryScratch::new`] and reuse it across queries.
+#[derive(Debug, Default)]
+pub struct NeighborQueryScratch {
+    /// Node stack reused by the tree-based environments' iterative
+    /// traversals (node ids into their arena vectors).
+    pub(crate) node_stack: Vec<u32>,
+}
+
+impl NeighborQueryScratch {
+    /// Creates an empty scratch; buffers grow on first use and are reused.
+    pub fn new() -> NeighborQueryScratch {
+        NeighborQueryScratch::default()
+    }
+}
+
 /// Which neighbor-search backend to use (paper Figure 11).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EnvironmentKind {
@@ -98,15 +133,22 @@ pub trait Environment: Send + Sync {
     /// the `interaction_radius` the index was built with). `exclude` skips
     /// the querying agent itself. The callback receives `(index, distance²)`.
     ///
-    /// `cloud` must be the point cloud the index was built over: like
-    /// BioDynaMo, the index stores agent *indices* only and re-reads
-    /// positions through the resource manager.
+    /// `cloud` must be the point cloud the index was built over: the index
+    /// stores agent *indices*, and implementations may either re-read
+    /// positions through `cloud` or stream them from a position copy cached
+    /// at [`Environment::update`] time (both are equivalent under the
+    /// contract that `cloud` is unchanged since the last update).
+    ///
+    /// `scratch` provides reusable traversal state so the query performs no
+    /// allocation; pass the same scratch for consecutive queries on one
+    /// thread to stay at its high-water mark.
     fn for_each_neighbor(
         &self,
         cloud: &dyn PointCloud,
         pos: Real3,
         exclude: Option<usize>,
         radius: f64,
+        scratch: &mut NeighborQueryScratch,
         visit: &mut dyn FnMut(usize, f64),
     );
 
@@ -140,7 +182,15 @@ pub fn neighbors_of(
     radius: f64,
 ) -> Vec<usize> {
     let mut out = Vec::new();
-    env.for_each_neighbor(cloud, pos, exclude, radius, &mut |idx, _d2| out.push(idx));
+    let mut scratch = NeighborQueryScratch::new();
+    env.for_each_neighbor(
+        cloud,
+        pos,
+        exclude,
+        radius,
+        &mut scratch,
+        &mut |idx, _d2| out.push(idx),
+    );
     out.sort_unstable();
     out
 }

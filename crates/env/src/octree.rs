@@ -9,7 +9,7 @@
 
 use bdm_util::Real3;
 
-use crate::{Environment, PointCloud};
+use crate::{Environment, NeighborQueryScratch, PointCloud};
 
 /// Default leaf bucket size (Behley et al. use 32 for their experiments).
 pub const DEFAULT_BUCKET_SIZE: usize = 32;
@@ -132,35 +132,42 @@ impl OctreeEnvironment {
         id
     }
 
+    /// Iterative radius search over an explicit node stack borrowed from
+    /// the caller's [`NeighborQueryScratch`] — zero allocation per query.
     fn search(
         &self,
-        node: u32,
+        root: u32,
         pos: Real3,
         exclude: Option<usize>,
         r2: f64,
+        stack: &mut Vec<u32>,
         visit: &mut dyn FnMut(usize, f64),
     ) {
-        match &self.nodes[node as usize] {
-            Node::Leaf { start, end, .. } => {
-                for &i in &self.indices[*start as usize..*end as usize] {
-                    let idx = i as usize;
-                    if Some(idx) == exclude {
-                        continue;
-                    }
-                    let d2 = pos.distance_sq(&self.positions[idx]);
-                    if d2 <= r2 {
-                        visit(idx, d2);
+        stack.clear();
+        stack.push(root);
+        while let Some(node) = stack.pop() {
+            match &self.nodes[node as usize] {
+                Node::Leaf { start, end, .. } => {
+                    for &i in &self.indices[*start as usize..*end as usize] {
+                        let idx = i as usize;
+                        if Some(idx) == exclude {
+                            continue;
+                        }
+                        let d2 = pos.distance_sq(&self.positions[idx]);
+                        if d2 <= r2 {
+                            visit(idx, d2);
+                        }
                     }
                 }
-            }
-            Node::Inner { children, .. } => {
-                for &child in children {
-                    if child == ABSENT {
-                        continue;
-                    }
-                    let (c_center, c_half) = self.node_cube(child);
-                    if cube_intersects_sphere(c_center, c_half, pos, r2) {
-                        self.search(child, pos, exclude, r2, visit);
+                Node::Inner { children, .. } => {
+                    for &child in children {
+                        if child == ABSENT {
+                            continue;
+                        }
+                        let (c_center, c_half) = self.node_cube(child);
+                        if cube_intersects_sphere(c_center, c_half, pos, r2) {
+                            stack.push(child);
+                        }
                     }
                 }
             }
@@ -220,10 +227,18 @@ impl Environment for OctreeEnvironment {
         pos: Real3,
         exclude: Option<usize>,
         radius: f64,
+        scratch: &mut NeighborQueryScratch,
         visit: &mut dyn FnMut(usize, f64),
     ) {
         if let Some(root) = self.root {
-            self.search(root, pos, exclude, radius * radius, visit);
+            self.search(
+                root,
+                pos,
+                exclude,
+                radius * radius,
+                &mut scratch.node_stack,
+                visit,
+            );
         }
     }
 

@@ -16,13 +16,22 @@
 //!   packed `(timestamp, head)` word of their box.
 //! * **3×3×3 search** — a fixed-radius query visits the query box and its 26
 //!   surrounding boxes.
+//! * **SoA query cache** — when the box table is dense enough, `update()`
+//!   additionally builds a per-box-sorted structure-of-arrays copy of the
+//!   positions (positions + agent indices delimited by a prefix-sum offset
+//!   table). Queries then stream contiguous memory instead of chasing the
+//!   `successors` linked list through array-of-structs agents, and because
+//!   boxes adjacent in x are adjacent in the sorted arrays, the 3×3×3
+//!   stencil collapses into nine contiguous runs.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use bdm_util::prefix_sum::prefix_sum_exclusive;
+use bdm_util::send_ptr::SendMut;
 use bdm_util::Real3;
 use rayon::prelude::*;
 
-use crate::{Environment, PointCloud};
+use crate::{Environment, NeighborQueryScratch, PointCloud};
 
 /// Sentinel for "no agent" in box heads and the successors list.
 const NIL: u32 = u32::MAX;
@@ -32,6 +41,13 @@ const NIL: u32 = u32::MAX;
 /// the `env_build` Criterion bench; the paper's Challenge 1 concerns large
 /// populations, where the parallel path wins).
 const PARALLEL_BUILD_THRESHOLD: usize = 1 << 16;
+
+/// The SoA query cache is built only when the box table is at most this many
+/// boxes per indexed point. Beyond it the cloud is so sparse that the
+/// per-box passes of the cache build (O(#boxes)) would break the grid's
+/// O(#agents) rebuild guarantee — those clouds keep the linked-list query
+/// path, whose lazy timestamps never touch empty boxes.
+const SOA_MAX_BOXES_PER_POINT: usize = 4;
 
 /// Packs a box's `(timestamp, head)` into one atomic word so that the lazy
 /// reset-on-first-touch and the list push are a single CAS.
@@ -46,6 +62,35 @@ fn unpack(word: u64) -> (u32, u32) {
 }
 
 /// The uniform grid environment (`UniformGridEnvironment` in BioDynaMo).
+///
+/// # Example
+///
+/// Index a point cloud and run an allocation-free fixed-radius query:
+///
+/// ```
+/// use bdm_env::{Environment, NeighborQueryScratch, UniformGridEnvironment};
+/// use bdm_util::Real3;
+///
+/// let points = vec![
+///     Real3::new(0.0, 0.0, 0.0),
+///     Real3::new(1.0, 0.0, 0.0),
+///     Real3::new(9.0, 0.0, 0.0),
+/// ];
+/// let mut grid = UniformGridEnvironment::new();
+/// grid.update(&points, 2.0); // interaction radius = box edge length
+///
+/// let mut scratch = NeighborQueryScratch::new();
+/// let mut hits = Vec::new();
+/// grid.for_each_neighbor(
+///     &points,
+///     points[0],
+///     Some(0), // exclude the querying point itself
+///     2.0,
+///     &mut scratch,
+///     &mut |idx, d2| hits.push((idx, d2)),
+/// );
+/// assert_eq!(hits, vec![(1, 1.0)]);
+/// ```
 pub struct UniformGridEnvironment {
     /// Packed `(timestamp, head)` per box.
     boxes: Vec<AtomicU64>,
@@ -67,6 +112,23 @@ pub struct UniformGridEnvironment {
     num_points: usize,
     /// Bounds of the indexed points.
     bounds: Option<(Real3, Real3)>,
+    /// Exclusive prefix-sum offset table of the SoA cache: box `b`'s agents
+    /// occupy `sorted_*[cell_offsets[b]..cell_offsets[b + 1]]`. Only valid
+    /// while `soa_active`.
+    cell_offsets: Vec<usize>,
+    /// Positions grouped by box (SoA copy taken at `update()` time).
+    sorted_positions: Vec<Real3>,
+    /// Agent indices parallel to `sorted_positions`.
+    sorted_indices: Vec<u32>,
+    /// Per-agent flat box index recorded during insertion (scratch for the
+    /// agent-major counting sort of the SoA build; filled only when the
+    /// cache will be built).
+    agent_boxes: Vec<u64>,
+    /// Per-box write cursors of the SoA scatter pass (scratch, reused).
+    soa_cursors: Vec<usize>,
+    /// Whether the SoA cache matches the current build (dense clouds only;
+    /// see [`SOA_MAX_BOXES_PER_POINT`]).
+    soa_active: bool,
 }
 
 impl Default for UniformGridEnvironment {
@@ -88,6 +150,12 @@ impl UniformGridEnvironment {
             inv_box_length: 1.0,
             num_points: 0,
             bounds: None,
+            cell_offsets: Vec::new(),
+            sorted_positions: Vec::new(),
+            sorted_indices: Vec::new(),
+            agent_boxes: Vec::new(),
+            soa_cursors: Vec::new(),
+            soa_active: false,
         }
     }
 
@@ -155,6 +223,95 @@ impl UniformGridEnvironment {
             cur = self.successor(i);
         }
     }
+
+    /// Whether the last [`Environment::update`] built the SoA query cache
+    /// (dense clouds; see the module docs). When `false`, queries fall back
+    /// to walking the `successors` linked list.
+    pub fn soa_active(&self) -> bool {
+        self.soa_active
+    }
+
+    /// Builds the SoA query cache: an agent-major counting sort of all
+    /// agents by box, reading the per-agent flat box index recorded in
+    /// `agent_boxes` during insertion — no linked-list walks, so the build
+    /// streams the agent arrays instead of pointer-chasing `successors`:
+    ///
+    /// 1. count agents per box, exclusive prefix sum → `cell_offsets`;
+    /// 2. scatter each agent's position/index into its box's range.
+    ///
+    /// All buffers are reused across updates (grow-only), so a steady-state
+    /// rebuild allocates nothing. Above the build threshold both passes run
+    /// in parallel with one relaxed `fetch_add` per agent (same cost class
+    /// as the insertion CAS); within-box order then depends on scheduling,
+    /// exactly like the linked-list order after a parallel insertion.
+    fn build_soa(&mut self, cloud: &dyn PointCloud, n: usize, nboxes: usize) {
+        self.cell_offsets.clear();
+        self.cell_offsets.resize(nboxes + 1, 0);
+        let flats = &self.agent_boxes[..n];
+        // Pass 1: per-box counts into cell_offsets[..nboxes] (the final
+        // slot stays 0 so the exclusive prefix sum turns it into the
+        // total).
+        if n < PARALLEL_BUILD_THRESHOLD {
+            for &flat in flats {
+                self.cell_offsets[flat as usize] += 1;
+            }
+        } else {
+            // SAFETY: usize and AtomicUsize have identical layout; the
+            // counts are only accessed through the atomic view here. The
+            // pointer comes from `as_mut_ptr` because the view mutates.
+            let counts = unsafe {
+                std::slice::from_raw_parts(
+                    self.cell_offsets.as_mut_ptr() as *const std::sync::atomic::AtomicUsize,
+                    nboxes,
+                )
+            };
+            (0..n).into_par_iter().for_each(|i| {
+                counts[flats[i] as usize].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let total = prefix_sum_exclusive(&mut self.cell_offsets);
+        debug_assert_eq!(total, n, "agent_boxes must cover every indexed point");
+        self.soa_cursors.clear();
+        self.soa_cursors
+            .extend_from_slice(&self.cell_offsets[..nboxes]);
+        self.sorted_positions.resize(n, Real3::ZERO);
+        self.sorted_indices.resize(n, 0);
+        // Pass 2: scatter. Each agent claims the next slot of its box; box
+        // ranges are disjoint by construction of the prefix sum.
+        let flats = &self.agent_boxes[..n];
+        let pos_ptr = SendMut::new(self.sorted_positions.as_mut_ptr());
+        let idx_ptr = SendMut::new(self.sorted_indices.as_mut_ptr());
+        if n < PARALLEL_BUILD_THRESHOLD {
+            for (i, &flat) in flats.iter().enumerate() {
+                let w = self.soa_cursors[flat as usize];
+                self.soa_cursors[flat as usize] = w + 1;
+                // SAFETY: slot `w` is claimed exactly once (serial cursor).
+                unsafe {
+                    pos_ptr.write(w, cloud.position(i));
+                    idx_ptr.write(w, i as u32);
+                }
+            }
+        } else {
+            // SAFETY: usize and AtomicUsize have identical layout; the
+            // cursors are only accessed through the atomic view here. The
+            // pointer comes from `as_mut_ptr` because the view mutates.
+            let cursors = unsafe {
+                std::slice::from_raw_parts(
+                    self.soa_cursors.as_mut_ptr() as *const std::sync::atomic::AtomicUsize,
+                    nboxes,
+                )
+            };
+            (0..n).into_par_iter().for_each(|i| {
+                let w = cursors[flats[i] as usize].fetch_add(1, Ordering::Relaxed);
+                // SAFETY: `fetch_add` hands each slot to exactly one task.
+                unsafe {
+                    pos_ptr.write(w, cloud.position(i));
+                    idx_ptr.write(w, i as u32);
+                }
+            });
+        }
+        self.soa_active = true;
+    }
 }
 
 impl Environment for UniformGridEnvironment {
@@ -165,6 +322,7 @@ impl Environment for UniformGridEnvironment {
         );
         let n = cloud.len();
         self.num_points = n;
+        self.soa_active = false;
         self.timestamp = self.timestamp.wrapping_add(1);
         if self.timestamp == 0 {
             // Extremely rare wrap: all stale stamps become ambiguous; reset.
@@ -237,6 +395,15 @@ impl Environment for UniformGridEnvironment {
             self.successors.resize(n, NIL);
         }
 
+        // Dense clouds additionally get the SoA query cache (built below);
+        // sparse clouds skip it to preserve the O(#agents) rebuild (module
+        // docs). Decide now so the insertion pass can record each agent's
+        // flat box index for the cache's counting sort.
+        let build_cache = nboxes <= n.saturating_mul(SOA_MAX_BOXES_PER_POINT);
+        if build_cache && self.agent_boxes.len() < n {
+            self.agent_boxes.resize(n, 0);
+        }
+
         // Insertion: serial below the threshold (plain stores), one CAS per
         // agent on the packed box word above it.
         let ts = self.timestamp;
@@ -244,6 +411,9 @@ impl Environment for UniformGridEnvironment {
             for i in 0..n {
                 let bc = self.box_coordinates(cloud.position(i));
                 let flat = self.flat_index(bc);
+                if build_cache {
+                    self.agent_boxes[i] = flat as u64;
+                }
                 let b = &self.boxes[flat];
                 let (bts, bhead) = unpack(b.load(Ordering::Relaxed));
                 // Lazy reset: a stale box behaves as empty.
@@ -251,35 +421,44 @@ impl Environment for UniformGridEnvironment {
                 b.store(pack(ts, i as u32), Ordering::Relaxed);
                 self.successors[i] = prev;
             }
-            return;
-        }
-        let boxes = &self.boxes;
-        let successors_ptr = SuccessorsPtr(self.successors.as_mut_ptr());
-        let grid = &*self;
-        (0..n).into_par_iter().for_each(|i| {
-            let bc = grid.box_coordinates(cloud.position(i));
-            let flat = grid.flat_index(bc);
-            let b = &boxes[flat];
-            let mut cur = b.load(Ordering::Relaxed);
-            loop {
-                let (bts, bhead) = unpack(cur);
-                // Lazy reset: a stale box behaves as empty.
-                let prev = if bts == ts { bhead } else { NIL };
-                match b.compare_exchange_weak(
-                    cur,
-                    pack(ts, i as u32),
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => {
-                        // SAFETY: slot `i` is written by exactly one task.
-                        unsafe { successors_ptr.write(i, prev) };
-                        break;
-                    }
-                    Err(c) => cur = c,
+        } else {
+            let boxes = &self.boxes;
+            let successors_ptr = SuccessorsPtr(self.successors.as_mut_ptr());
+            let agent_boxes_ptr = SendMut::new(self.agent_boxes.as_mut_ptr());
+            let grid = &*self;
+            (0..n).into_par_iter().for_each(|i| {
+                let bc = grid.box_coordinates(cloud.position(i));
+                let flat = grid.flat_index(bc);
+                if build_cache {
+                    // SAFETY: slot `i` is written by exactly one task.
+                    unsafe { agent_boxes_ptr.write(i, flat as u64) };
                 }
-            }
-        });
+                let b = &boxes[flat];
+                let mut cur = b.load(Ordering::Relaxed);
+                loop {
+                    let (bts, bhead) = unpack(cur);
+                    // Lazy reset: a stale box behaves as empty.
+                    let prev = if bts == ts { bhead } else { NIL };
+                    match b.compare_exchange_weak(
+                        cur,
+                        pack(ts, i as u32),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: slot `i` is written by exactly one task.
+                            unsafe { successors_ptr.write(i, prev) };
+                            break;
+                        }
+                        Err(c) => cur = c,
+                    }
+                }
+            });
+        }
+
+        if build_cache {
+            self.build_soa(cloud, n, nboxes);
+        }
     }
 
     fn for_each_neighbor(
@@ -288,6 +467,7 @@ impl Environment for UniformGridEnvironment {
         pos: Real3,
         exclude: Option<usize>,
         radius: f64,
+        _scratch: &mut NeighborQueryScratch,
         visit: &mut dyn FnMut(usize, f64),
     ) {
         if self.num_points == 0 || self.dims[0] == 0 {
@@ -305,7 +485,48 @@ impl Environment for UniformGridEnvironment {
         );
         let r2 = radius * radius;
         let bc = self.box_coordinates(pos);
-        // 3×3×3 cube of boxes around the query box.
+
+        if self.soa_active {
+            // SoA fast path. Boxes adjacent in x are adjacent both in flat
+            // index and in the sorted arrays, so each (y, z) row of the
+            // stencil is ONE contiguous run: the 3×3×3 cube collapses into
+            // at most nine linear scans over `sorted_positions`. The
+            // precomputed strides below are the per-update box-offset
+            // table: `flat = x + dim_x * (y + dim_y * z)`.
+            let x0 = bc[0].saturating_sub(1) as usize;
+            let x1 = (bc[0] + 1).min(self.dims[0] - 1) as usize;
+            let stride_y = self.dims[0] as usize;
+            let stride_z = stride_y * self.dims[1] as usize;
+            for dz in -1i64..=1 {
+                let z = bc[2] as i64 + dz;
+                if z < 0 || z >= self.dims[2] as i64 {
+                    continue;
+                }
+                let z_base = z as usize * stride_z;
+                for dy in -1i64..=1 {
+                    let y = bc[1] as i64 + dy;
+                    if y < 0 || y >= self.dims[1] as i64 {
+                        continue;
+                    }
+                    let row = z_base + y as usize * stride_y;
+                    let start = self.cell_offsets[row + x0];
+                    let end = self.cell_offsets[row + x1 + 1];
+                    for slot in start..end {
+                        let d2 = pos.distance_sq(&self.sorted_positions[slot]);
+                        if d2 <= r2 {
+                            let idx = self.sorted_indices[slot] as usize;
+                            if Some(idx) != exclude {
+                                visit(idx, d2);
+                            }
+                        }
+                    }
+                }
+            }
+            return;
+        }
+
+        // Fallback (sparse clouds): 3×3×3 cube of boxes around the query
+        // box, chasing the per-box linked list.
         for dz in -1i64..=1 {
             let z = bc[2] as i64 + dz;
             if z < 0 || z >= self.dims[2] as i64 {
@@ -345,11 +566,22 @@ impl Environment for UniformGridEnvironment {
         self.num_points = 0;
         self.dims = [0; 3];
         self.bounds = None;
+        self.cell_offsets.clear();
+        self.sorted_positions.clear();
+        self.sorted_indices.clear();
+        self.agent_boxes.clear();
+        self.soa_cursors.clear();
+        self.soa_active = false;
     }
 
     fn memory_bytes(&self) -> usize {
         self.boxes.capacity() * std::mem::size_of::<AtomicU64>()
             + self.successors.capacity() * std::mem::size_of::<u32>()
+            + self.cell_offsets.capacity() * std::mem::size_of::<usize>()
+            + self.sorted_positions.capacity() * std::mem::size_of::<Real3>()
+            + self.sorted_indices.capacity() * std::mem::size_of::<u32>()
+            + self.agent_boxes.capacity() * std::mem::size_of::<u64>()
+            + self.soa_cursors.capacity() * std::mem::size_of::<usize>()
     }
 
     fn name(&self) -> &'static str {

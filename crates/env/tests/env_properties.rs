@@ -167,6 +167,132 @@ fn grid_box_accessors_enumerate_all_agents() {
 }
 
 #[test]
+fn points_exactly_on_box_boundaries() {
+    // Points at exact multiples of the interaction radius sit exactly on
+    // box edges; binning must stay consistent between the insert and the
+    // query side (and between the SoA and linked-list paths).
+    let radius = 1.0;
+    let mut points = Vec::new();
+    for x in 0..5 {
+        for y in 0..5 {
+            for z in 0..5 {
+                points.push(Real3::new(x as f64, y as f64, z as f64));
+            }
+        }
+    }
+    check_against_brute(&points, radius);
+    // Also with a radius that makes the lattice spacing a non-integer
+    // multiple (floating-point boundary rounding).
+    check_against_brute(&points, 0.5);
+}
+
+#[test]
+fn interaction_radius_change_between_updates() {
+    // The same grid instance rebuilt with a different radius must fully
+    // re-bin: box length, dims, and the SoA cache all change shape.
+    let points = random_points(31, 400, 20.0);
+    let mut grid = UniformGridEnvironment::new();
+    let mut brute = BruteForceEnvironment::new();
+    for radius in [2.0, 7.0, 0.5, 3.25] {
+        grid.update(&pc(&points), radius);
+        brute.update(&pc(&points), radius);
+        for (i, &p) in points.iter().enumerate().step_by(13) {
+            assert_eq!(
+                neighbors_of(&grid, &pc(&points), p, Some(i), radius),
+                neighbors_of(&brute, &pc(&points), p, Some(i), radius),
+                "radius {radius}, query {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn degenerate_all_points_in_one_box() {
+    // The whole cloud falls into a single grid box (extent < radius): the
+    // 3×3×3 stencil degenerates to that one box and the SoA cache is one
+    // run covering every point.
+    let mut rng = SimRng::new(77);
+    let points: Vec<Real3> = (0..120).map(|_| rng.point_in_cube(10.0, 10.4)).collect();
+    let mut grid = UniformGridEnvironment::new();
+    grid.update(&pc(&points), 1.0);
+    assert_eq!(grid.dims(), [1, 1, 1]);
+    assert!(grid.soa_active(), "single-box cloud is maximally dense");
+    check_against_brute(&points, 1.0);
+}
+
+#[test]
+fn soa_cache_active_on_dense_inactive_on_sparse_with_parity() {
+    // Dense cloud: #boxes ≲ #points, the SoA fast path is taken. Sparse
+    // cloud in a huge space: the cache would cost O(#boxes), so queries
+    // fall back to the linked list. Both must agree with brute force, and
+    // one grid instance must switch safely between the two regimes.
+    let mut grid = UniformGridEnvironment::new();
+
+    let dense = random_points(41, 600, 25.0);
+    grid.update(&pc(&dense), 3.0);
+    assert!(grid.soa_active(), "dense cloud must build the SoA cache");
+    let mut brute = BruteForceEnvironment::new();
+    brute.update(&pc(&dense), 3.0);
+    for (i, &p) in dense.iter().enumerate() {
+        assert_eq!(
+            neighbors_of(&grid, &pc(&dense), p, Some(i), 3.0),
+            neighbors_of(&brute, &pc(&dense), p, Some(i), 3.0),
+            "SoA path, query {i}"
+        );
+    }
+
+    // ~68³ ≈ 314k boxes for 40 points: far beyond the density cutoff.
+    let sparse = random_points(42, 40, 2000.0);
+    grid.update(&pc(&sparse), 30.0);
+    assert!(!grid.soa_active(), "sparse cloud must skip the SoA cache");
+    brute.update(&pc(&sparse), 30.0);
+    for (i, &p) in sparse.iter().enumerate() {
+        assert_eq!(
+            neighbors_of(&grid, &pc(&sparse), p, Some(i), 30.0),
+            neighbors_of(&brute, &pc(&sparse), p, Some(i), 30.0),
+            "fallback path, query {i}"
+        );
+    }
+
+    // Back to dense on the same instance: stale sparse state must not leak.
+    grid.update(&pc(&dense), 3.0);
+    assert!(grid.soa_active());
+    brute.update(&pc(&dense), 3.0);
+    for (i, &p) in dense.iter().enumerate().step_by(7) {
+        assert_eq!(
+            neighbors_of(&grid, &pc(&dense), p, Some(i), 3.0),
+            neighbors_of(&brute, &pc(&dense), p, Some(i), 3.0),
+            "SoA path after sparse rebuild, query {i}"
+        );
+    }
+}
+
+#[test]
+fn grid_parallel_build_above_threshold_matches_brute() {
+    // 70k points crosses the grid's parallel-build threshold (1 << 16):
+    // this exercises the CAS insertion path AND the atomic counting/scatter
+    // passes of the SoA cache build, which smaller tests never reach.
+    // Queries are sampled (brute force is O(n) per query at this scale).
+    let n = 70_000;
+    let points = random_points(55, n, 120.0);
+    let mut grid = UniformGridEnvironment::new();
+    grid.update(&pc(&points), 4.0);
+    assert!(
+        grid.soa_active(),
+        "dense 70k cloud must build the SoA cache"
+    );
+    let mut brute = BruteForceEnvironment::new();
+    brute.update(&pc(&points), 4.0);
+    for (i, &p) in points.iter().enumerate().step_by(997) {
+        assert_eq!(
+            neighbors_of(&grid, &pc(&points), p, Some(i), 4.0),
+            neighbors_of(&brute, &pc(&points), p, Some(i), 4.0),
+            "parallel-build path, query {i}"
+        );
+    }
+}
+
+#[test]
 fn grid_box_coordinates_clamp() {
     let points = vec![Real3::ZERO, Real3::splat(10.0)];
     let mut grid = UniformGridEnvironment::new();

@@ -4,7 +4,7 @@
 //! parallel removal algorithm (Section 3.2, step 4) both rely on prefix sums
 //! over per-box / per-thread counters. The parallel variant is the classic
 //! two-pass block algorithm (work-efficient in the sense of Ladner & Fischer,
-//! the paper's citation [36]): per-block sums in parallel, a serial scan over
+//! the paper's citation \[36\]): per-block sums in parallel, a serial scan over
 //! the tiny block-sum array, then a parallel fix-up pass.
 
 use rayon::prelude::*;

@@ -10,15 +10,15 @@
 //!
 //! | crate | contents |
 //! |---|---|
-//! | [`core`] | engine: agents, behaviors, scheduler, resource manager, forces, sorting, static detection |
-//! | [`env`] | neighbor-search environments: uniform grid, kd-tree, octree |
-//! | [`alloc`] | the NUMA-aware pool memory allocator |
-//! | [`numa`] | virtual NUMA topology + work-stealing thread pool |
-//! | [`sfc`] | Morton/Hilbert curves and the gap-offset enumeration |
-//! | [`diffusion`] | extracellular substance diffusion |
-//! | [`neuro`] | neuron somas, neurite elements, growth cones |
-//! | [`models`] | the five benchmark simulations + cell sorting |
-//! | [`baseline`] | the serial comparator engine |
+//! | [`core`](mod@core) | engine: agents, behaviors, scheduler, resource manager, forces, sorting, static detection |
+//! | [`env`](mod@env) | neighbor-search environments: uniform grid, kd-tree, octree |
+//! | [`alloc`](mod@alloc) | the NUMA-aware pool memory allocator |
+//! | [`numa`](mod@numa) | virtual NUMA topology + work-stealing thread pool |
+//! | [`sfc`](mod@sfc) | Morton/Hilbert curves and the gap-offset enumeration |
+//! | [`diffusion`](mod@diffusion) | extracellular substance diffusion |
+//! | [`neuro`](mod@neuro) | neuron somas, neurite elements, growth cones |
+//! | [`models`](mod@models) | the five benchmark simulations + cell sorting |
+//! | [`baseline`](mod@baseline) | the serial comparator engine |
 //!
 //! ## Quickstart
 //!
