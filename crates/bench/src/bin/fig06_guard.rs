@@ -1,0 +1,135 @@
+//! CI regression guard over `fig06_phases.csv`: compares a freshly captured
+//! per-operation phase table against the committed baseline and fails (exit
+//! code 1) when a guarded phase regressed.
+//!
+//! ```sh
+//! cargo run --release -p bdm_bench --bin fig06_complexity -- \
+//!     --quick --csv --phase-csv --threads 2 --domains 2 --max-exp 3 \
+//!     --no-subprocess --out target/fig06-ci
+//! cargo run --release -p bdm_bench --bin fig06_guard -- \
+//!     --baseline bench/baselines/fig06_phases.csv \
+//!     --candidate target/fig06-ci/fig06_phases.csv
+//! ```
+//!
+//! Defaults guard `environment_update` at the 1e3 scale point with a 25%
+//! relative threshold. CI machines differ from the machine that captured
+//! the committed baseline and 1e3-scale phases run in the tens of
+//! microseconds, so an absolute floor (`--min-seconds`, default 50µs per
+//! iteration) suppresses pure-noise failures: a row only fails when it is
+//! over the relative threshold *and* slower by more than the floor. With
+//! a ~25-40µs baseline that means the guard effectively trips at a ≥2-3×
+//! regression — a smoke alarm for algorithmic blowups (e.g. accidental
+//! O(#boxes) work), not a micro-benchmark.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// `(model, agents, phase) → s/iteration` from a fig06_phases.csv.
+fn load_phases(path: &str) -> HashMap<(String, String, String), f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read phase CSV {path}: {e}"));
+    let mut rows = HashMap::new();
+    for line in text.lines().skip(1) {
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() < 5 {
+            continue;
+        }
+        let per_iter: f64 = match cols[4].parse() {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        rows.insert(
+            (
+                cols[0].to_string(),
+                cols[1].to_string(),
+                cols[2].to_string(),
+            ),
+            per_iter,
+        );
+    }
+    assert!(!rows.is_empty(), "no phase rows parsed from {path}");
+    rows
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = String::new();
+    let mut candidate_path = String::new();
+    let mut phase = "environment_update".to_string();
+    let mut agents = "1e3".to_string();
+    let mut threshold = 0.25f64;
+    let mut min_seconds = 50e-6f64;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("missing value for {}", args[i]))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--baseline" => baseline_path = value(i),
+            "--candidate" => candidate_path = value(i),
+            "--phase" => phase = value(i),
+            "--agents" => agents = value(i),
+            "--threshold" => threshold = value(i).parse().expect("--threshold"),
+            "--min-seconds" => min_seconds = value(i).parse().expect("--min-seconds"),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+    assert!(
+        !baseline_path.is_empty() && !candidate_path.is_empty(),
+        "usage: fig06_guard --baseline <csv> --candidate <csv> \
+         [--phase environment_update] [--agents 1e3] [--threshold 0.25] \
+         [--min-seconds 0.00005]"
+    );
+
+    let baseline = load_phases(&baseline_path);
+    let candidate = load_phases(&candidate_path);
+
+    let mut checked = 0;
+    let mut failed = false;
+    for ((model, scale, ph), &base) in &baseline {
+        if *ph != phase || *scale != agents {
+            continue;
+        }
+        let Some(&cand) = candidate.get(&(model.clone(), scale.clone(), ph.clone())) else {
+            println!("SKIP  {model}/{scale}/{ph}: not in candidate capture");
+            continue;
+        };
+        checked += 1;
+        let limit = base * (1.0 + threshold);
+        let over_ratio = cand > limit;
+        let over_floor = cand - base > min_seconds;
+        if over_ratio && over_floor {
+            println!(
+                "FAIL  {model}/{scale}/{ph}: {cand:.6} s/iter vs baseline {base:.6} \
+                 (+{:.0}%, limit +{:.0}%)",
+                (cand / base - 1.0) * 100.0,
+                threshold * 100.0
+            );
+            failed = true;
+        } else {
+            println!(
+                "OK    {model}/{scale}/{ph}: {cand:.6} s/iter vs baseline {base:.6} ({}{:.0}%)",
+                if cand >= base { "+" } else { "" },
+                (cand / base - 1.0) * 100.0
+            );
+        }
+    }
+    assert!(
+        checked > 0,
+        "baseline {baseline_path} has no rows for phase {phase} at {agents} agents"
+    );
+    if failed {
+        println!(
+            "phase regression guard FAILED (threshold {:.0}%)",
+            threshold * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("phase regression guard passed ({checked} rows checked)");
+        ExitCode::SUCCESS
+    }
+}

@@ -38,10 +38,20 @@ pub struct NeighborData {
 pub struct Snapshot {
     /// Per-agent data, concatenated over domains.
     pub data: Vec<NeighborData>,
+    /// The positions of `data` again, as one dense array: the environment
+    /// rebuild and the sparse-grid query fallback stream positions and
+    /// nothing else, so they read this (24-byte stride, no virtual call via
+    /// [`bdm_env::PointCloud::positions_slice`]) instead of striding
+    /// through the 40-byte `NeighborData` records.
+    pub positions: Vec<Real3>,
     /// Start offset of each domain within `data` (plus a final total).
     pub offsets: Vec<usize>,
     /// Largest agent diameter (drives the default interaction radius).
     pub max_diameter: f64,
+    /// Axis-aligned bounds of all snapshot positions, computed during the
+    /// gather. `environment_update` passes them to the index rebuild so the
+    /// grid skips its own bounding pass over the cloud.
+    pub bounds: Option<(Real3, Real3)>,
 }
 
 impl Snapshot {
@@ -83,6 +93,9 @@ impl PointCloud for SnapshotCloud<'_> {
     }
     fn position(&self, idx: usize) -> Real3 {
         self.0.data[idx].position
+    }
+    fn positions_slice(&self) -> Option<&[Real3]> {
+        Some(&self.0.positions)
     }
 }
 
@@ -307,8 +320,10 @@ mod tests {
     fn snapshot(offsets: Vec<usize>, n: usize) -> Snapshot {
         Snapshot {
             data: vec![NeighborData::default(); n],
+            positions: vec![Real3::ZERO; n],
             offsets,
             max_diameter: 10.0,
+            bounds: None,
         }
     }
 

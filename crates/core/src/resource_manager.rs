@@ -87,6 +87,12 @@ pub struct CommitStats {
 /// Owner of all agents (BioDynaMo's `ResourceManager`).
 pub struct ResourceManager {
     pub(crate) domains: Vec<DomainStore>,
+    /// Bumped on every change that can invalidate an index-addressed
+    /// snapshot (push, commit, sort rewrite, exclusive agent access):
+    /// consumers compare generations to detect that agent indices were
+    /// remapped or an agent was mutated in place — a pure length check
+    /// misses same-count add/remove pairs and in-place moves.
+    pub(crate) generation: u64,
 }
 
 impl ResourceManager {
@@ -95,7 +101,13 @@ impl ResourceManager {
         assert!(num_domains > 0);
         ResourceManager {
             domains: (0..num_domains).map(|_| DomainStore::default()).collect(),
+            generation: 0,
         }
+    }
+
+    /// Structural-change generation (see the field docs).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of NUMA domains.
@@ -133,6 +145,7 @@ impl ResourceManager {
     /// Inserts an agent during model initialization (round-robin balancing
     /// is the caller's responsibility; `Simulation::add_agent` does it).
     pub fn push(&mut self, domain: usize, agent: AgentBox, iteration: u64) -> AgentHandle {
+        self.generation += 1;
         let store = &mut self.domains[domain];
         store.push(agent, iteration);
         AgentHandle::new(domain, store.len() - 1)
@@ -143,8 +156,12 @@ impl ResourceManager {
         &*self.domains[h.domain as usize].agents[h.index as usize]
     }
 
-    /// Exclusive access to an agent.
+    /// Exclusive access to an agent. Counts as a structural change for
+    /// [`ResourceManager::generation`]: the caller may move the agent, which
+    /// invalidates index-addressed position snapshots taken earlier in the
+    /// iteration (the engine then re-reads live agents instead).
     pub fn agent_mut(&mut self, h: AgentHandle) -> &mut dyn Agent {
+        self.generation += 1;
         &mut *self.domains[h.domain as usize].agents[h.index as usize]
     }
 
@@ -170,6 +187,7 @@ impl ResourceManager {
         parallel: bool,
         iteration: u64,
     ) -> CommitStats {
+        self.generation += 1;
         let mut stats = CommitStats::default();
 
         // ---- Removals (before additions, so handles stay valid). ----

@@ -128,6 +128,29 @@ pub trait Operation: Send {
         1
     }
 
+    /// Whether this operation walks the uniform grid's per-box *linked
+    /// lists* (`box_head` / `successor`). The scheduler aggregates this over
+    /// the registered operations each iteration — counting an operation as
+    /// a consumer if it becomes due any time before the **next**
+    /// `environment_update` run, so the request also covers operations
+    /// placed ahead of the rebuild in the pipeline (they read the previous
+    /// build) — and hands the result to
+    /// [`Environment::update_with`](bdm_env::Environment::update_with) as a
+    /// capability hint: when no consumer requires the lists, dense clouds
+    /// skip the CAS list insertion and serve all consumers from the SoA
+    /// cache. The built-in operations — including `agent_sorting`, which
+    /// reads the SoA box order directly — never need them, so the default is
+    /// `false`; override it in a custom operation that calls `box_head` or
+    /// `successor` on the grid. (`for_each_in_box` and `box_agents` are
+    /// served from the SoA cache and need no override.) If a declaring
+    /// operation appears *between* the rebuilds of a re-timed environment
+    /// pipeline, the engine forces one extra rebuild so the lists exist on
+    /// the first iteration the operation runs; only explicitly *disabling*
+    /// the `environment_update` op leaves the request unsatisfiable.
+    fn requires_box_lists(&self) -> bool {
+        false
+    }
+
     /// Executes the operation for the current iteration.
     fn run(&mut self, ctx: &mut SimulationCtx<'_>);
 }
@@ -410,12 +433,50 @@ impl Scheduler {
         entry.enabled && iteration.is_multiple_of(entry.frequency)
     }
 
+    /// Whether any operation declaring [`Operation::requires_box_lists`]
+    /// will run before the *next* `environment_update` — the
+    /// scheduler-side half of the environment capability hint, computed by
+    /// `Simulation::step` before the pipeline runs. The window spans this
+    /// iteration plus one environment-update period: an index built now is
+    /// read until the next rebuild, including by consumers positioned
+    /// *before* `environment_update` in the pipeline (they see the
+    /// previous build) and by consumers whose frequency makes them due
+    /// only on a later iteration of a slow-rebuilding pipeline.
+    pub(crate) fn due_ops_require_box_lists(entries: &[ScheduledOp], iteration: u64) -> bool {
+        let env_freq = entries
+            .iter()
+            .find(|e| e.op.name() == builtin::ENVIRONMENT)
+            .map(|e| e.frequency)
+            .unwrap_or(1);
+        let window_end = iteration.saturating_add(env_freq);
+        entries.iter().any(|e| {
+            // O(1) "due within [iteration, window_end]" — frequencies are
+            // arbitrary u64s, so scanning the window would not terminate in
+            // reasonable time for a slow-rebuilding pipeline.
+            let next_due = iteration.div_ceil(e.frequency).saturating_mul(e.frequency);
+            e.enabled && e.op.requires_box_lists() && next_due <= window_end
+        })
+    }
+
     /// Executes one iteration over a detached op list (see
     /// [`Scheduler::take_entries`]): for each due op, time it, run it.
-    pub(crate) fn run_iteration(entries: &mut [ScheduledOp], ctx: &mut SimulationCtx<'_>) {
+    ///
+    /// `force_environment` additionally runs the (enabled)
+    /// `environment_update` op even when its frequency says it is not due —
+    /// used when a box-list-requiring consumer appeared after the last
+    /// rebuild of a slow-rebuilding pipeline, so the index it reads this
+    /// iteration actually has the lists (an explicit `set_enabled(false)`
+    /// on the environment op is still respected).
+    pub(crate) fn run_iteration(
+        entries: &mut [ScheduledOp],
+        ctx: &mut SimulationCtx<'_>,
+        force_environment: bool,
+    ) {
         let iteration = ctx.sim.iteration();
         for entry in entries.iter_mut() {
-            if !Scheduler::is_due(entry, iteration) {
+            let forced =
+                force_environment && entry.enabled && entry.op.name() == builtin::ENVIRONMENT;
+            if !Scheduler::is_due(entry, iteration) && !forced {
                 continue;
             }
             let t = Timer::start();

@@ -22,14 +22,16 @@
 
 use bdm_alloc::{MemoryManager, MemoryStats, PoolConfig};
 use bdm_diffusion::DiffusionGrid;
-use bdm_env::Environment;
+use bdm_env::{BoxListPolicy, Environment, UpdateHint};
 use bdm_numa::{NumaThreadPool, NumaTopology, StealStats};
 use bdm_util::send_ptr::SendMut;
-use bdm_util::TimeBuckets;
+use bdm_util::{Real3, TimeBuckets};
 
 use crate::agent::{new_agent_box, Agent, AgentHandle, AgentUid};
 use crate::builder::SimulationBuilder;
-use crate::context::{agent_rng, AgentContext, ExecutionContext, NeighborData, Snapshot};
+use crate::context::{
+    agent_rng, AgentContext, ExecutionContext, NeighborData, Snapshot, SnapshotCloud,
+};
 use crate::force::InteractionForce;
 use crate::ops::{run_behaviors, run_mechanics, MechanicsConfig, ViolationTable};
 use crate::param::Param;
@@ -88,6 +90,21 @@ pub struct Simulation {
     /// read by `agent_sorting` (a changed population forces an index
     /// rebuild before sorting).
     step_commit: CommitStats,
+    /// Whether any operation due this iteration requires the uniform grid's
+    /// per-box linked lists (aggregated from
+    /// [`Operation::requires_box_lists`](crate::scheduler::Operation::requires_box_lists)
+    /// by `step`); `environment_update` forwards it as the index's
+    /// [`UpdateHint`].
+    step_box_lists: bool,
+    /// Iteration whose agents the snapshot was gathered over; lets
+    /// `environment_update` reuse the snapshot's contiguous positions (and
+    /// bounds) instead of re-reading every agent through two virtual calls.
+    snapshot_iteration: u64,
+    /// Resource-manager generation at snapshot time: a custom operation
+    /// that adds/removes/commits agents between `snapshot` and
+    /// `environment_update` remaps agent indices even when the count is
+    /// unchanged, so freshness is generation equality, not a length check.
+    snapshot_generation: u64,
 }
 
 impl Simulation {
@@ -141,6 +158,9 @@ impl Simulation {
             param,
             step_radius: 0.0,
             step_commit: CommitStats::default(),
+            step_box_lists: false,
+            snapshot_iteration: 0,
+            snapshot_generation: 0,
         }
     }
 
@@ -318,6 +338,17 @@ impl Simulation {
         self.env.memory_bytes()
     }
 
+    /// The neighbor-search index of the current iteration (rebuilt by the
+    /// `environment_update` operation). Custom operations can downcast via
+    /// [`Environment::as_uniform_grid`] for grid-specific reads; an
+    /// operation that walks the grid's linked lists (`box_head` /
+    /// `successor`) must also override
+    /// [`Operation::requires_box_lists`](crate::scheduler::Operation::requires_box_lists)
+    /// so the lazy rebuild materializes them.
+    pub fn environment(&self) -> &dyn Environment {
+        &*self.env
+    }
+
     /// Name of the active environment backend.
     pub fn environment_name(&self) -> &'static str {
         self.env.name()
@@ -345,13 +376,29 @@ impl Simulation {
         // ops registered during the iteration land in the (empty) scheduler
         // and are merged back afterwards.
         let mut entries = self.scheduler.take_entries();
+        // Scheduler → environment capability hint: does anything due this
+        // iteration walk the grid's linked lists? (The built-ins never do —
+        // sorting reads the SoA box order — so this is `false` unless a
+        // custom operation opts in.)
+        self.step_box_lists = Scheduler::due_ops_require_box_lists(&entries, self.iteration);
+        // A consumer can appear between the rebuilds of a re-timed
+        // (frequency > 1) environment pipeline — via add_op, set_enabled,
+        // or a frequency change — in which case the build it would read
+        // this iteration lacks the lists. Force one rebuild so the
+        // documented `requires_box_lists` contract holds unconditionally
+        // while the environment op is enabled.
+        let force_environment = self.step_box_lists
+            && self
+                .env
+                .as_uniform_grid()
+                .is_some_and(|g| g.soa_active() && !g.lists_active());
         // A panicking operation must not leak the detached list (the
         // pipeline would be empty forever if the caller catches the
         // unwind), so restore it before re-raising.
         let result = {
             let mut ctx = SimulationCtx { sim: self };
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                Scheduler::run_iteration(&mut entries, &mut ctx)
+                Scheduler::run_iteration(&mut entries, &mut ctx, force_environment)
             }))
         };
         self.scheduler.put_entries(entries);
@@ -368,6 +415,8 @@ impl Simulation {
     /// comparison isolates the index structure.
     pub(crate) fn phase_snapshot(&mut self) {
         self.build_snapshot();
+        self.snapshot_iteration = self.iteration;
+        self.snapshot_generation = self.rm.generation();
         self.step_radius = self
             .param
             .interaction_radius
@@ -375,11 +424,38 @@ impl Simulation {
     }
 
     /// The `environment_update` operation: rebuilds the neighbor index
-    /// (Algorithm 1 L3–5).
+    /// (Algorithm 1 L3–5). The rebuild reads positions from the snapshot
+    /// gathered this iteration (contiguous memory, bounds already known)
+    /// whenever it is fresh; without a fresh snapshot — e.g. a custom
+    /// pipeline that dropped the snapshot op — it falls back to reading the
+    /// agents directly.
     pub(crate) fn phase_environment(&mut self) {
-        if self.rm.num_agents() > 0 {
+        let n = self.rm.num_agents();
+        if n == 0 {
+            return;
+        }
+        let box_lists = if self.step_box_lists {
+            BoxListPolicy::Always
+        } else {
+            BoxListPolicy::IfNeeded
+        };
+        let snapshot_fresh = self.snapshot_iteration == self.iteration
+            && self.snapshot_generation == self.rm.generation()
+            && self.snapshot.data.len() == n;
+        if snapshot_fresh {
+            let hint = UpdateHint {
+                build_box_lists: box_lists,
+                known_bounds: self.snapshot.bounds,
+            };
+            let cloud = SnapshotCloud(&self.snapshot);
+            self.env.update_with(&cloud, self.step_radius, hint);
+        } else {
+            let hint = UpdateHint {
+                build_box_lists: box_lists,
+                known_bounds: None,
+            };
             let cloud = ResourceManagerCloud::new(&self.rm);
-            self.env.update(&cloud, self.step_radius);
+            self.env.update_with(&cloud, self.step_radius, hint);
         }
     }
 
@@ -431,7 +507,20 @@ impl Simulation {
         if (self.step_commit.added > 0 || self.step_commit.removed > 0) && self.rm.num_agents() > 0
         {
             let cloud = ResourceManagerCloud::new(&self.rm);
-            self.env.update(&cloud, self.step_radius);
+            // The sort itself reads the SoA box order on dense clouds and
+            // the lists only on sparse ones (where the grid builds them
+            // anyway) — but a due operation that declared
+            // `requires_box_lists` may still run after this rebuild, so
+            // its capability request carries over.
+            let hint = UpdateHint {
+                build_box_lists: if self.step_box_lists {
+                    BoxListPolicy::Always
+                } else {
+                    BoxListPolicy::IfNeeded
+                },
+                known_bounds: None,
+            };
+            self.env.update_with(&cloud, self.step_radius, hint);
         }
         if let Some(grid) = self.env.as_uniform_grid() {
             let moved = sort_and_balance(
@@ -456,31 +545,45 @@ impl Simulation {
         let total = *offsets.last().unwrap();
         self.snapshot.offsets = offsets;
         self.snapshot.data.resize(total, NeighborData::default());
+        self.snapshot.positions.resize(total, Real3::ZERO);
         let sizes = self.rm.domain_sizes();
         let max_diameter = std::sync::atomic::AtomicU64::new(0f64.to_bits());
+        // Position bounds fold into the same sweep: the environment rebuild
+        // needs them, and computing them here saves it a full pass over the
+        // agents. Merged per block under a mutex (blocks are coarse).
+        let bounds =
+            std::sync::Mutex::new((Real3::splat(f64::INFINITY), Real3::splat(f64::NEG_INFINITY)));
         {
             let data_ptr = SendMut::new(self.snapshot.data.as_mut_ptr());
+            let pos_ptr = SendMut::new(self.snapshot.positions.as_mut_ptr());
             let snap_offsets = &self.snapshot.offsets;
             let rm = &self.rm;
             let max_ref = &max_diameter;
+            let bounds_ref = &bounds;
             let block = self.param.iteration_block_size;
             let body = |domain: usize, range: std::ops::Range<usize>| {
                 let mut local_max = 0f64;
+                let mut local_lo = Real3::splat(f64::INFINITY);
+                let mut local_hi = Real3::splat(f64::NEG_INFINITY);
                 let base = snap_offsets[domain];
                 for i in range {
                     let agent = &*rm.domains[domain].agents[i];
                     let d = agent.diameter();
                     local_max = local_max.max(d);
+                    let position = agent.position();
+                    local_lo = local_lo.min(&position);
+                    local_hi = local_hi.max(&position);
                     // SAFETY: global slot base+i written exactly once.
                     unsafe {
                         data_ptr.write(
                             base + i,
                             NeighborData {
-                                position: agent.position(),
+                                position,
                                 diameter: d,
                                 payload: agent.payload(),
                             },
                         );
+                        pos_ptr.write(base + i, position);
                     }
                 }
                 // Atomic f64 max via CAS on the bit pattern.
@@ -496,6 +599,11 @@ impl Simulation {
                         Err(c) => cur = c,
                     }
                 }
+                if local_lo[0] <= local_hi[0] {
+                    let mut merged = bounds_ref.lock().unwrap();
+                    merged.0 = merged.0.min(&local_lo);
+                    merged.1 = merged.1.max(&local_hi);
+                }
             };
             if self.param.numa_aware_iteration {
                 self.pool
@@ -508,6 +616,7 @@ impl Simulation {
             }
         }
         self.snapshot.max_diameter = f64::from_bits(max_diameter.into_inner());
+        self.snapshot.bounds = (total > 0).then(|| bounds.into_inner().unwrap());
     }
 
     /// The parallel agent-operation phase: behaviors + mechanics.

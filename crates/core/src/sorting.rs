@@ -81,19 +81,13 @@ pub(crate) fn sort_and_balance(
     };
 
     // --- Step 2 (Figure 3 F): agents per box + prefix sum + partition. ---
-    let mut counts: Vec<usize> = vec![0; flats.len()];
-    {
-        let counts_ptr = SendMut::new(counts.as_mut_ptr());
-        let flats = &flats;
-        pool.parallel_for(flats.len(), 256, &|_c, range| {
-            for b in range {
-                let mut n = 0usize;
-                grid.for_each_in_box(flats[b], &mut |_| n += 1);
-                // SAFETY: slot b written exactly once.
-                unsafe { counts_ptr.write(b, n) };
-            }
-        });
-    }
+    // On dense clouds the grid's SoA cache *is* the box-grouped order the
+    // sort needs (its counting sort already grouped the agents), so both
+    // passes read it directly — O(1) counts and slice copies — instead of
+    // chasing the per-box linked lists, which the lazy rebuild does not
+    // even materialize unless the cloud is sparse.
+    let use_soa = grid.soa_active();
+    let mut counts = box_counts(grid, &flats, pool, use_soa);
     // A real assert, not a debug one: the unsafe copy loop below relies on
     // `new_order` being a permutation of all current agent indices, which
     // only holds if the grid was rebuilt after the last add/remove commit.
@@ -105,22 +99,7 @@ pub(crate) fn sort_and_balance(
     );
 
     // New order: global old indices arranged by Morton-ordered boxes.
-    let mut new_order: Vec<u32> = vec![0; total];
-    {
-        let order_ptr = SendMut::new(new_order.as_mut_ptr());
-        let flats = &flats;
-        let counts = &counts;
-        pool.parallel_for(flats.len(), 256, &|_c, range| {
-            for b in range {
-                let mut w = counts[b];
-                grid.for_each_in_box(flats[b], &mut |agent| {
-                    // SAFETY: box ranges [counts[b], counts[b+1]) are disjoint.
-                    unsafe { order_ptr.write(w, agent) };
-                    w += 1;
-                });
-            }
-        });
-    }
+    let new_order = box_grouped_order(grid, &flats, &counts, total, pool, use_soa);
 
     // Domain shares proportional to thread counts (Figure 3 F: "each NUMA
     // domain receives a share corresponding to its number of threads").
@@ -243,5 +222,145 @@ pub(crate) fn sort_and_balance(
     // With extra memory, all old copies die here, after the copy finished.
     drop(old_domains);
     rm.domains = new_stores;
+    rm.generation += 1;
     total
+}
+
+/// Agents per box, in `flats` order — read from the SoA cache's offset
+/// table (O(1) per box) or counted by walking the per-box linked lists.
+fn box_counts(
+    grid: &UniformGridEnvironment,
+    flats: &[usize],
+    pool: &NumaThreadPool,
+    use_soa: bool,
+) -> Vec<usize> {
+    let mut counts: Vec<usize> = vec![0; flats.len()];
+    let counts_ptr = SendMut::new(counts.as_mut_ptr());
+    pool.parallel_for(flats.len(), 256, &|_c, range| {
+        for b in range {
+            let n = if use_soa {
+                grid.box_agents(flats[b]).expect("SoA cache active").len()
+            } else {
+                let mut n = 0usize;
+                grid.for_each_in_box(flats[b], &mut |_| n += 1);
+                n
+            };
+            // SAFETY: slot b written exactly once.
+            unsafe { counts_ptr.write(b, n) };
+        }
+    });
+    counts
+}
+
+/// Old global agent indices grouped by the boxes of `flats`, box `b`'s
+/// agents starting at `offsets[b]` — copied from the SoA cache's sorted
+/// index runs or gathered from the linked lists. Both sources group the
+/// same agents into the same ranges; only the within-box order differs
+/// (ascending agent index vs. reverse insertion order), which the sort is
+/// insensitive to.
+fn box_grouped_order(
+    grid: &UniformGridEnvironment,
+    flats: &[usize],
+    offsets: &[usize],
+    total: usize,
+    pool: &NumaThreadPool,
+    use_soa: bool,
+) -> Vec<u32> {
+    let mut new_order: Vec<u32> = vec![0; total];
+    let order_ptr = SendMut::new(new_order.as_mut_ptr());
+    pool.parallel_for(flats.len(), 256, &|_c, range| {
+        for b in range {
+            let mut w = offsets[b];
+            if use_soa {
+                for &agent in grid.box_agents(flats[b]).expect("SoA cache active") {
+                    // SAFETY: box ranges [offsets[b], offsets[b+1]) are disjoint.
+                    unsafe { order_ptr.write(w, agent) };
+                    w += 1;
+                }
+            } else {
+                grid.for_each_in_box(flats[b], &mut |agent| {
+                    // SAFETY: box ranges [offsets[b], offsets[b+1]) are disjoint.
+                    unsafe { order_ptr.write(w, agent) };
+                    w += 1;
+                });
+            }
+        }
+    });
+    new_order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdm_env::{Environment, SliceCloud};
+    use bdm_util::{Real3, SimRng};
+
+    /// Grid over a dense random cloud, built under the standalone default
+    /// hint so BOTH structures (linked lists and SoA cache) are live.
+    fn dense_grid() -> (UniformGridEnvironment, usize) {
+        let mut rng = SimRng::new(2024);
+        let points: Vec<Real3> = (0..700).map(|_| rng.point_in_cube(0.0, 22.0)).collect();
+        let n = points.len();
+        let mut grid = UniformGridEnvironment::new();
+        grid.update(&SliceCloud(&points), 3.0);
+        assert!(grid.soa_active() && grid.lists_active());
+        (grid, n)
+    }
+
+    fn morton_flats(grid: &UniformGridEnvironment) -> Vec<usize> {
+        let dims = grid.dims();
+        let gap = GapOffsets::compute_3d(dims[0], dims[1], dims[2]);
+        gap.iter_coords()
+            .map(|(x, y, z)| grid.flat_index([x, y, z]))
+            .collect()
+    }
+
+    #[test]
+    fn soa_and_list_paths_agree_on_counts_and_grouping() {
+        let (grid, total) = dense_grid();
+        let pool = NumaThreadPool::new(NumaTopology::new(2, 2));
+        let flats = morton_flats(&grid);
+
+        let counts_soa = box_counts(&grid, &flats, &pool, true);
+        let counts_list = box_counts(&grid, &flats, &pool, false);
+        assert_eq!(counts_soa, counts_list);
+
+        let mut offsets = counts_soa;
+        let counted = prefix_sum_exclusive(&mut offsets);
+        assert_eq!(counted, total);
+
+        let order_soa = box_grouped_order(&grid, &flats, &offsets, total, &pool, true);
+        let order_list = box_grouped_order(&grid, &flats, &offsets, total, &pool, false);
+        // Same Morton-ordered grouping from both sources: every box range
+        // holds the same agent set (within-box order may differ — the SoA
+        // run is ascending by agent index, the list is reverse insertion).
+        for b in 0..flats.len() {
+            let end = if b + 1 < flats.len() {
+                offsets[b + 1]
+            } else {
+                total
+            };
+            let mut seg_soa = order_soa[offsets[b]..end].to_vec();
+            let mut seg_list = order_list[offsets[b]..end].to_vec();
+            seg_soa.sort_unstable();
+            seg_list.sort_unstable();
+            assert_eq!(seg_soa, seg_list, "box {b} groups different agents");
+        }
+        // And each is a permutation of all agents.
+        let mut sorted = order_soa;
+        sorted.sort_unstable();
+        assert!(sorted.iter().enumerate().all(|(i, &a)| a as usize == i));
+    }
+
+    #[test]
+    fn soa_order_within_box_is_ascending_agent_index() {
+        let (grid, _) = dense_grid();
+        for flat in 0..grid.num_boxes() {
+            let agents = grid.box_agents(flat).expect("SoA active");
+            assert!(
+                agents.windows(2).all(|w| w[0] < w[1]),
+                "box {flat} not ascending: {agents:?}"
+            );
+        }
+    }
 }

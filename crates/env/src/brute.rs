@@ -7,7 +7,7 @@
 
 use bdm_util::Real3;
 
-use crate::{Environment, NeighborQueryScratch, PointCloud};
+use crate::{Environment, NeighborQueryScratch, PointCloud, UpdateHint};
 
 /// Brute-force fixed-radius search over a cached copy of the positions.
 #[derive(Debug, Default)]
@@ -24,16 +24,19 @@ impl BruteForceEnvironment {
 }
 
 impl Environment for BruteForceEnvironment {
-    fn update(&mut self, cloud: &dyn PointCloud, _interaction_radius: f64) {
+    fn update_with(&mut self, cloud: &dyn PointCloud, _interaction_radius: f64, hint: UpdateHint) {
         self.positions.clear();
         self.positions.reserve(cloud.len());
         for i in 0..cloud.len() {
             self.positions.push(cloud.position(i));
         }
-        self.bounds = self.positions.iter().fold(None, |acc, p| match acc {
-            None => Some((*p, *p)),
-            Some((lo, hi)) => Some((lo.min(p), hi.max(p))),
-        });
+        self.bounds = match hint.known_bounds {
+            Some(b) if !self.positions.is_empty() => Some(b),
+            _ => self.positions.iter().fold(None, |acc, p| match acc {
+                None => Some((*p, *p)),
+                Some((lo, hi)) => Some((lo.min(p), hi.max(p))),
+            }),
+        };
     }
 
     fn for_each_neighbor(

@@ -9,7 +9,7 @@
 
 use bdm_util::Real3;
 
-use crate::{Environment, NeighborQueryScratch, PointCloud};
+use crate::{Environment, NeighborQueryScratch, PointCloud, UpdateHint};
 
 /// Default leaf bucket size (matches nanoflann's common default).
 pub const DEFAULT_LEAF_SIZE: usize = 10;
@@ -161,7 +161,7 @@ impl KdTreeEnvironment {
 }
 
 impl Environment for KdTreeEnvironment {
-    fn update(&mut self, cloud: &dyn PointCloud, _interaction_radius: f64) {
+    fn update_with(&mut self, cloud: &dyn PointCloud, _interaction_radius: f64, hint: UpdateHint) {
         let n = cloud.len();
         self.nodes.clear();
         self.indices.clear();
@@ -175,11 +175,14 @@ impl Environment for KdTreeEnvironment {
         for i in 0..n {
             self.positions.push(cloud.position(i));
         }
-        let (mut min, mut max) = (self.positions[0], self.positions[0]);
-        for p in &self.positions[1..] {
-            min = min.min(p);
-            max = max.max(p);
-        }
+        let (min, max) = hint.known_bounds.unwrap_or_else(|| {
+            let (mut min, mut max) = (self.positions[0], self.positions[0]);
+            for p in &self.positions[1..] {
+                min = min.min(p);
+                max = max.max(p);
+            }
+            (min, max)
+        });
         self.bounds = Some((min, max));
         self.indices.extend(0..n as u32);
         // Serial build, by design (see module docs).

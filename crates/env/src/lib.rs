@@ -47,6 +47,14 @@ pub trait PointCloud: Sync {
     }
     /// Position of point `idx` (`idx < len`).
     fn position(&self, idx: usize) -> Real3;
+    /// The positions as one contiguous slice, if the cloud is backed by
+    /// one. Index rebuilds are O(#agents) sweeps over the positions; a
+    /// slice lets them read straight memory instead of a virtual call per
+    /// point (the engine hands the environment its snapshot's position
+    /// array, so the hot path always takes this route).
+    fn positions_slice(&self) -> Option<&[Real3]> {
+        None
+    }
 }
 
 impl PointCloud for Vec<Real3> {
@@ -56,10 +64,13 @@ impl PointCloud for Vec<Real3> {
     fn position(&self, idx: usize) -> Real3 {
         self[idx]
     }
+    fn positions_slice(&self) -> Option<&[Real3]> {
+        Some(self)
+    }
 }
 
 /// Borrowed position slice viewed as a [`PointCloud`] (used by tests,
-/// examples, and the baseline engine).
+/// examples, the baseline engine, and the engine's snapshot positions).
 #[derive(Debug, Clone, Copy)]
 pub struct SliceCloud<'a>(pub &'a [Real3]);
 
@@ -69,6 +80,9 @@ impl PointCloud for SliceCloud<'_> {
     }
     fn position(&self, idx: usize) -> Real3 {
         self.0[idx]
+    }
+    fn positions_slice(&self) -> Option<&[Real3]> {
+        Some(self.0)
     }
 }
 
@@ -122,12 +136,66 @@ impl EnvironmentKind {
     }
 }
 
+/// Engine-supplied context for one [`Environment::update_with`] call.
+///
+/// The scheduler knows, before the index is rebuilt, which consumers will
+/// touch it this iteration and what it already learned about the cloud while
+/// gathering the iteration snapshot. The hint lets an index skip work that
+/// nobody will read:
+///
+/// * `build_box_lists` — whether any consumer will walk the uniform grid's
+///   per-box linked lists (`box_head` / `successor` / `for_each_in_box`)
+///   this iteration. When `false` *and* the cloud is dense enough for the
+///   SoA query cache, the grid skips the CAS linked-list insertion entirely;
+///   sparse clouds build the lists regardless because queries fall back to
+///   them. Environments without box lists ignore the flag.
+/// * `known_bounds` — axis-aligned bounds of `cloud`, if the caller already
+///   computed them (the engine derives them during the snapshot gather, so
+///   the index build saves a full pass over the agents). Must enclose every
+///   point of the cloud exactly as tightly as the index's own reduction
+///   would (the engine passes the min/max over the identical positions).
+///
+/// [`UpdateHint::default`] is the conservative standalone contract: build
+/// everything, compute bounds from the cloud.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateHint {
+    /// Request the per-box linked lists even if queries will not need them.
+    pub build_box_lists: BoxListPolicy,
+    /// Precomputed tight bounds of the cloud, if the caller has them.
+    pub known_bounds: Option<(Real3, Real3)>,
+}
+
+/// Whether [`Environment::update_with`] must materialize the uniform grid's
+/// per-box linked lists (see [`UpdateHint::build_box_lists`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BoxListPolicy {
+    /// Build the lists unconditionally (standalone/default contract: all
+    /// grid accessors stay usable).
+    #[default]
+    Always,
+    /// Build the lists only when the index needs them itself (the uniform
+    /// grid's sparse fallback); dense clouds serve every registered
+    /// consumer from the SoA cache.
+    IfNeeded,
+}
+
 /// A rebuildable fixed-radius neighbor-search index.
 pub trait Environment: Send + Sync {
     /// Rebuilds the index over `cloud` for fixed-radius queries up to
     /// `interaction_radius` (known at the start of each iteration; paper
-    /// Section 3.1 exploits exactly this).
-    fn update(&mut self, cloud: &dyn PointCloud, interaction_radius: f64);
+    /// Section 3.1 exploits exactly this). Equivalent to
+    /// [`Environment::update_with`] under [`UpdateHint::default`] — every
+    /// auxiliary structure is built, bounds are computed from the cloud.
+    fn update(&mut self, cloud: &dyn PointCloud, interaction_radius: f64) {
+        self.update_with(cloud, interaction_radius, UpdateHint::default());
+    }
+
+    /// Rebuilds the index like [`Environment::update`], with an engine
+    /// [`UpdateHint`] describing which capabilities this iteration's
+    /// consumers actually need. Implementations may use the hint to skip
+    /// work (the uniform grid's lazy linked list) but must stay correct if
+    /// they ignore it.
+    fn update_with(&mut self, cloud: &dyn PointCloud, interaction_radius: f64, hint: UpdateHint);
 
     /// Visits every point within `radius` of `pos` (`radius` must not exceed
     /// the `interaction_radius` the index was built with). `exclude` skips

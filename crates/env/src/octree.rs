@@ -9,7 +9,7 @@
 
 use bdm_util::Real3;
 
-use crate::{Environment, NeighborQueryScratch, PointCloud};
+use crate::{Environment, NeighborQueryScratch, PointCloud, UpdateHint};
 
 /// Default leaf bucket size (Behley et al. use 32 for their experiments).
 pub const DEFAULT_BUCKET_SIZE: usize = 32;
@@ -194,7 +194,7 @@ fn cube_intersects_sphere(center: Real3, half: f64, pos: Real3, r2: f64) -> bool
 }
 
 impl Environment for OctreeEnvironment {
-    fn update(&mut self, cloud: &dyn PointCloud, _interaction_radius: f64) {
+    fn update_with(&mut self, cloud: &dyn PointCloud, _interaction_radius: f64, hint: UpdateHint) {
         let n = cloud.len();
         self.nodes.clear();
         self.indices.clear();
@@ -208,11 +208,14 @@ impl Environment for OctreeEnvironment {
         for i in 0..n {
             self.positions.push(cloud.position(i));
         }
-        let (mut min, mut max) = (self.positions[0], self.positions[0]);
-        for p in &self.positions[1..] {
-            min = min.min(p);
-            max = max.max(p);
-        }
+        let (min, max) = hint.known_bounds.unwrap_or_else(|| {
+            let (mut min, mut max) = (self.positions[0], self.positions[0]);
+            for p in &self.positions[1..] {
+                min = min.min(p);
+                max = max.max(p);
+            }
+            (min, max)
+        });
         self.bounds = Some((min, max));
         self.indices.extend(0..n as u32);
         let center = (min + max) * 0.5;

@@ -7,31 +7,40 @@
 //!   zeroed ("we can build the grid in O(#agents) time instead of
 //!   O(#agents + #boxes), which is relevant for large simulation spaces that
 //!   are not fully populated").
-//! * **Array-based linked list** — agents in a box form a singly-linked list
-//!   through the `successors` array, indexed by the same agent indices as the
-//!   resource manager; the box only stores the list head. After agent sorting
-//!   (Section 4.2) agents that share a box are also close in memory, which
-//!   speeds up walking this list.
-//! * **Parallel build** — agents are inserted concurrently with a CAS on the
-//!   packed `(timestamp, head)` word of their box.
+//! * **Single fused build pass** — one sweep over the cloud computes each
+//!   agent's flat box index, accumulates the per-box histogram of the SoA
+//!   counting sort into chunk-private count rows (no shared atomics), and —
+//!   only when requested — pushes the agent onto its box's linked list. The
+//!   rows are merged by a prefix sum into the offset table *and* into exact
+//!   per-(chunk, box) write cursors, which makes the subsequent scatter both
+//!   contention-free and deterministic: agents of a box land in ascending
+//!   agent-index order regardless of thread scheduling.
+//! * **Lazy array-based linked list** — agents in a box form a singly-linked
+//!   list through the `successors` array (the paper's layout; the box stores
+//!   only the list head). On dense clouds the SoA cache serves every query
+//!   and every box-enumeration consumer, so the CAS insertion is skipped
+//!   entirely unless the caller's [`UpdateHint`] requests the lists; sparse
+//!   clouds always build them because queries fall back to the list walk.
 //! * **3×3×3 search** — a fixed-radius query visits the query box and its 26
 //!   surrounding boxes.
-//! * **SoA query cache** — when the box table is dense enough, `update()`
-//!   additionally builds a per-box-sorted structure-of-arrays copy of the
-//!   positions (positions + agent indices delimited by a prefix-sum offset
-//!   table). Queries then stream contiguous memory instead of chasing the
+//! * **SoA query cache** — when the box table is dense enough, the rebuild
+//!   produces a per-box-sorted structure-of-arrays copy of the positions
+//!   (positions + agent indices delimited by a prefix-sum offset table).
+//!   Queries then stream contiguous memory instead of chasing the
 //!   `successors` linked list through array-of-structs agents, and because
 //!   boxes adjacent in x are adjacent in the sorted arrays, the 3×3×3
-//!   stencil collapses into nine contiguous runs.
+//!   stencil collapses into nine contiguous runs. The scatter that builds
+//!   the cache is tiled over box ranges so each pass writes into a bounded
+//!   window of the sorted arrays instead of spraying the whole allocation.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bdm_util::prefix_sum::prefix_sum_exclusive;
+use bdm_util::prefix_sum::inclusive_prefix_sum_parallel_u32;
 use bdm_util::send_ptr::SendMut;
 use bdm_util::Real3;
 use rayon::prelude::*;
 
-use crate::{Environment, NeighborQueryScratch, PointCloud};
+use crate::{BoxListPolicy, Environment, NeighborQueryScratch, PointCloud, UpdateHint};
 
 /// Sentinel for "no agent" in box heads and the successors list.
 const NIL: u32 = u32::MAX;
@@ -48,6 +57,27 @@ const PARALLEL_BUILD_THRESHOLD: usize = 1 << 16;
 /// O(#agents) rebuild guarantee — those clouds keep the linked-list query
 /// path, whose lazy timestamps never touch empty boxes.
 const SOA_MAX_BOXES_PER_POINT: usize = 4;
+
+/// Upper bound on the number of chunk-private count rows of the fused
+/// counting pass. More rows mean less parallel imbalance but O(rows × boxes)
+/// merge work and scratch memory.
+const MAX_COUNT_CHUNKS: usize = 8;
+
+/// Cap on the count-row scratch (`rows × boxes × 4` bytes); when a very
+/// boxy cloud would blow past it, the build uses fewer chunks instead.
+const COUNT_SCRATCH_BYTE_CAP: usize = 64 << 20;
+
+/// Target write-window size of one scatter tile: each tile pass writes into
+/// at most roughly this many bytes of the sorted arrays, so the random
+/// stores of the counting sort hit far fewer open DRAM pages.
+const SCATTER_TILE_BYTES: usize = 4 << 20;
+
+/// Ceiling on scatter tiles — every tile re-streams the (sequential, cheap)
+/// per-agent box indices, so the pass count stays bounded.
+const MAX_SCATTER_TILES: usize = 8;
+
+/// Bytes one agent occupies in the SoA cache (position + index).
+const SOA_SLOT_BYTES: usize = std::mem::size_of::<Real3>() + std::mem::size_of::<u32>();
 
 /// Packs a box's `(timestamp, head)` into one atomic word so that the lazy
 /// reset-on-first-touch and the list push are a single CAS.
@@ -92,9 +122,11 @@ fn unpack(word: u64) -> (u32, u32) {
 /// assert_eq!(hits, vec![(1, 1.0)]);
 /// ```
 pub struct UniformGridEnvironment {
-    /// Packed `(timestamp, head)` per box.
+    /// Packed `(timestamp, head)` per box. Grown (and written) only on
+    /// updates that build the linked lists.
     boxes: Vec<AtomicU64>,
-    /// `successors[i]` = next agent in the same box, or `NIL`.
+    /// `successors[i]` = next agent in the same box, or `NIL`. Only valid
+    /// while `lists_active`.
     successors: Vec<u32>,
     /// Current grid timestamp; a box is valid only if its stamp matches.
     timestamp: u32,
@@ -113,22 +145,29 @@ pub struct UniformGridEnvironment {
     /// Bounds of the indexed points.
     bounds: Option<(Real3, Real3)>,
     /// Exclusive prefix-sum offset table of the SoA cache: box `b`'s agents
-    /// occupy `sorted_*[cell_offsets[b]..cell_offsets[b + 1]]`. Only valid
-    /// while `soa_active`.
-    cell_offsets: Vec<usize>,
+    /// occupy `sorted_*[cell_offsets[b]..cell_offsets[b + 1]]`. `u32` — the
+    /// cache is only built when every offset fits — so the O(#boxes) merge
+    /// passes move half the memory of a `usize` table. Only valid while
+    /// `soa_active`.
+    cell_offsets: Vec<u32>,
     /// Positions grouped by box (SoA copy taken at `update()` time).
     sorted_positions: Vec<Real3>,
     /// Agent indices parallel to `sorted_positions`.
     sorted_indices: Vec<u32>,
-    /// Per-agent flat box index recorded during insertion (scratch for the
-    /// agent-major counting sort of the SoA build; filled only when the
-    /// cache will be built).
-    agent_boxes: Vec<u64>,
-    /// Per-box write cursors of the SoA scatter pass (scratch, reused).
-    soa_cursors: Vec<usize>,
+    /// Per-agent flat box index recorded during the fused build pass
+    /// (scratch for the counting sort; filled only when the cache is
+    /// built — which guarantees the flat index fits in 32 bits).
+    agent_boxes: Vec<u32>,
+    /// Chunk-private count rows of the fused counting pass, `chunks × boxes`
+    /// (scratch, reused). After the merge each entry is the exact scatter
+    /// cursor of its `(chunk, box)` pair.
+    count_scratch: Vec<u32>,
     /// Whether the SoA cache matches the current build (dense clouds only;
     /// see [`SOA_MAX_BOXES_PER_POINT`]).
     soa_active: bool,
+    /// Whether the per-box linked lists match the current build (sparse
+    /// clouds, or dense clouds whose caller requested them).
+    lists_active: bool,
 }
 
 impl Default for UniformGridEnvironment {
@@ -154,8 +193,9 @@ impl UniformGridEnvironment {
             sorted_positions: Vec::new(),
             sorted_indices: Vec::new(),
             agent_boxes: Vec::new(),
-            soa_cursors: Vec::new(),
+            count_scratch: Vec::new(),
             soa_active: false,
+            lists_active: false,
         }
     }
 
@@ -199,130 +239,267 @@ impl UniformGridEnvironment {
                 * ((bc[1] as usize) + (self.dims[1] as usize) * bc[2] as usize)
     }
 
-    /// Head of the agent list of the box at `flat` (used by the sorting
-    /// operation), or `None` if the box is empty this iteration.
+    /// Head of the agent list of the box at `flat`, or `None` if the box is
+    /// empty this iteration.
+    ///
+    /// # Panics
+    /// If the last update skipped the linked lists (see
+    /// [`UniformGridEnvironment::lists_active`]); enumerate boxes with
+    /// [`UniformGridEnvironment::for_each_in_box`] or
+    /// [`UniformGridEnvironment::box_agents`], which also serve from the SoA
+    /// cache.
     #[inline]
     pub fn box_head(&self, flat: usize) -> Option<u32> {
+        assert!(
+            self.lists_active,
+            "the last update skipped the per-box linked lists; request them \
+             via UpdateHint::build_box_lists (or use box_agents/for_each_in_box)"
+        );
         let (ts, head) = unpack(self.boxes[flat].load(Ordering::Relaxed));
         (ts == self.timestamp && head != NIL).then_some(head)
     }
 
-    /// Successor of `agent` within its box list (used by the sorting
-    /// operation).
+    /// Successor of `agent` within its box list. Like
+    /// [`UniformGridEnvironment::box_head`], only meaningful while the
+    /// linked lists are active.
     #[inline]
     pub fn successor(&self, agent: u32) -> Option<u32> {
+        debug_assert!(self.lists_active);
         let next = self.successors[agent as usize];
         (next != NIL).then_some(next)
     }
 
-    /// Iterates the agents of one box.
+    /// Iterates the agents of one box, from whichever structure the last
+    /// update built: the linked list when active (standalone/default
+    /// contract), otherwise the SoA cache's box run.
     pub fn for_each_in_box(&self, flat: usize, visit: &mut dyn FnMut(u32)) {
-        let mut cur = self.box_head(flat);
-        while let Some(i) = cur {
-            visit(i);
-            cur = self.successor(i);
+        if self.lists_active {
+            let mut cur = self.box_head(flat);
+            while let Some(i) = cur {
+                visit(i);
+                cur = self.successor(i);
+            }
+        } else if self.soa_active {
+            for &i in self.soa_box_agents(flat) {
+                visit(i);
+            }
+        } else {
+            debug_assert_eq!(
+                self.num_points, 0,
+                "an update builds at least one structure"
+            );
         }
     }
 
-    /// Whether the last [`Environment::update`] built the SoA query cache
-    /// (dense clouds; see the module docs). When `false`, queries fall back
-    /// to walking the `successors` linked list.
+    /// Whether the last [`Environment::update_with`] built the SoA query
+    /// cache (dense clouds; see the module docs). When `false`, queries fall
+    /// back to walking the `successors` linked list.
     pub fn soa_active(&self) -> bool {
         self.soa_active
     }
 
-    /// Builds the SoA query cache: an agent-major counting sort of all
-    /// agents by box, reading the per-agent flat box index recorded in
-    /// `agent_boxes` during insertion — no linked-list walks, so the build
-    /// streams the agent arrays instead of pointer-chasing `successors`:
-    ///
-    /// 1. count agents per box, exclusive prefix sum → `cell_offsets`;
-    /// 2. scatter each agent's position/index into its box's range.
-    ///
-    /// All buffers are reused across updates (grow-only), so a steady-state
-    /// rebuild allocates nothing. Above the build threshold both passes run
-    /// in parallel with one relaxed `fetch_add` per agent (same cost class
-    /// as the insertion CAS); within-box order then depends on scheduling,
-    /// exactly like the linked-list order after a parallel insertion.
-    fn build_soa(&mut self, cloud: &dyn PointCloud, n: usize, nboxes: usize) {
-        self.cell_offsets.clear();
-        self.cell_offsets.resize(nboxes + 1, 0);
-        let flats = &self.agent_boxes[..n];
-        // Pass 1: per-box counts into cell_offsets[..nboxes] (the final
-        // slot stays 0 so the exclusive prefix sum turns it into the
-        // total).
+    /// Whether the last [`Environment::update_with`] built the per-box
+    /// linked lists. Dense clouds skip them unless the caller's
+    /// [`UpdateHint`] requests box lists; sparse clouds always build them.
+    pub fn lists_active(&self) -> bool {
+        self.lists_active
+    }
+
+    /// The agents of the box at `flat` as a slice of the SoA cache, in
+    /// ascending agent-index order, or `None` if the last update did not
+    /// build the cache. O(1); the agent-sorting operation reads the
+    /// box-grouped order straight from here (the counting sort *is* the
+    /// grouping the sort would otherwise recompute from the lists).
+    #[inline]
+    pub fn box_agents(&self, flat: usize) -> Option<&[u32]> {
+        self.soa_active.then(|| self.soa_box_agents(flat))
+    }
+
+    #[inline]
+    fn soa_box_agents(&self, flat: usize) -> &[u32] {
+        debug_assert!(self.soa_active);
+        &self.sorted_indices[self.cell_offsets[flat] as usize..self.cell_offsets[flat + 1] as usize]
+    }
+
+    /// Number of chunk-private count rows for the fused counting pass.
+    /// `BDM_GRID_COUNT_CHUNKS` overrides the thread-count heuristic (tuning
+    /// knob; also lets tests exercise the multi-chunk merge on any machine),
+    /// still clamped by [`MAX_COUNT_CHUNKS`] and the scratch byte cap.
+    fn count_chunks(n: usize, nboxes: usize) -> usize {
         if n < PARALLEL_BUILD_THRESHOLD {
-            for &flat in flats {
-                self.cell_offsets[flat as usize] += 1;
+            return 1;
+        }
+        let requested = std::env::var("BDM_GRID_COUNT_CHUNKS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(rayon::current_num_threads);
+        let by_memory = COUNT_SCRATCH_BYTE_CAP / (nboxes * std::mem::size_of::<u32>()).max(1);
+        requested.min(MAX_COUNT_CHUNKS).min(by_memory).max(1)
+    }
+
+    /// Merges the chunk-private count rows: builds the exclusive
+    /// `cell_offsets` table and rewrites every `(chunk, box)` count into its
+    /// exact scatter cursor (exclusive prefix over chunks within each box,
+    /// based at the box offset). O(chunks × boxes), parallel over boxes.
+    fn merge_counts(&mut self, chunks: usize, nboxes: usize, n: usize) {
+        if chunks == 1 {
+            // Single count row: ONE fused serial pass prefixes it into the
+            // offset table and rewrites it into the scatter cursors on the
+            // way (instead of three separate O(#boxes) sweeps).
+            let counts = &mut self.count_scratch;
+            let offsets = &mut self.cell_offsets;
+            let mut acc = 0u32;
+            for b in 0..nboxes {
+                let count = counts[b];
+                counts[b] = acc;
+                acc += count;
+                offsets[b + 1] = acc;
+            }
+            debug_assert_eq!(acc as usize, n, "count row must cover every indexed point");
+            return;
+        }
+        // Per-box totals into cell_offsets[1..]; slot 0 stays 0 so the
+        // inclusive prefix sum over [1..] yields the exclusive offsets.
+        let counts = &self.count_scratch;
+        let serial_merge = nboxes < PARALLEL_BUILD_THRESHOLD;
+        {
+            let offs_ptr = SendMut::new(self.cell_offsets.as_mut_ptr());
+            let per_box_total = |b: usize| -> u32 {
+                let mut s = 0u32;
+                for c in 0..chunks {
+                    s += counts[c * nboxes + b];
+                }
+                s
+            };
+            if serial_merge {
+                for b in 0..nboxes {
+                    // SAFETY: single thread, slot b + 1 in bounds.
+                    unsafe { offs_ptr.write(b + 1, per_box_total(b)) };
+                }
+            } else {
+                (0..nboxes).into_par_iter().for_each(|b| {
+                    // SAFETY: slot b + 1 written by exactly one task.
+                    unsafe { offs_ptr.write(b + 1, per_box_total(b)) };
+                });
+            }
+        }
+        let total = inclusive_prefix_sum_parallel_u32(&mut self.cell_offsets[1..]);
+        debug_assert_eq!(total, n, "count rows must cover every indexed point");
+        // Rewrite counts into scatter cursors: chunk c of box b starts where
+        // the lower chunks of b end.
+        let offsets = &self.cell_offsets;
+        let counts_ptr = SendMut::new(self.count_scratch.as_mut_ptr());
+        let cursor_box = |b: usize| {
+            let mut acc = offsets[b];
+            for c in 0..chunks {
+                // SAFETY: each (c, b) slot is touched by exactly one task
+                // (tasks partition the box range).
+                unsafe {
+                    let slot = counts_ptr.ptr_at(c * nboxes + b);
+                    let count = *slot;
+                    *slot = acc;
+                    acc += count;
+                }
+            }
+        };
+        if serial_merge {
+            for b in 0..nboxes {
+                cursor_box(b);
             }
         } else {
-            // SAFETY: usize and AtomicUsize have identical layout; the
-            // counts are only accessed through the atomic view here. The
-            // pointer comes from `as_mut_ptr` because the view mutates.
-            let counts = unsafe {
-                std::slice::from_raw_parts(
-                    self.cell_offsets.as_mut_ptr() as *const std::sync::atomic::AtomicUsize,
-                    nboxes,
-                )
-            };
-            (0..n).into_par_iter().for_each(|i| {
-                counts[flats[i] as usize].fetch_add(1, Ordering::Relaxed);
-            });
+            (0..nboxes).into_par_iter().for_each(cursor_box);
         }
-        let total = prefix_sum_exclusive(&mut self.cell_offsets);
-        debug_assert_eq!(total, n, "agent_boxes must cover every indexed point");
-        self.soa_cursors.clear();
-        self.soa_cursors
-            .extend_from_slice(&self.cell_offsets[..nboxes]);
+    }
+
+    /// Scatter pass of the SoA build: every agent's position/index goes to
+    /// the cursor of its `(chunk, box)` pair. Chunks run in parallel; the
+    /// cursors make all writes disjoint and the within-box order ascending
+    /// by agent index (deterministic regardless of scheduling). Large
+    /// scatters are tiled over contiguous box ranges — each tile pass
+    /// re-streams the cheap sequential box indices but confines the random
+    /// position/index stores to a bounded window of the sorted arrays (see
+    /// [`SCATTER_TILE_BYTES`]), so they hit far fewer open DRAM pages.
+    fn scatter_soa(&mut self, positions: Positions<'_>, n: usize, nboxes: usize, chunks: usize) {
         self.sorted_positions.resize(n, Real3::ZERO);
         self.sorted_indices.resize(n, 0);
-        // Pass 2: scatter. Each agent claims the next slot of its box; box
-        // ranges are disjoint by construction of the prefix sum.
-        let flats = &self.agent_boxes[..n];
         let pos_ptr = SendMut::new(self.sorted_positions.as_mut_ptr());
         let idx_ptr = SendMut::new(self.sorted_indices.as_mut_ptr());
-        if n < PARALLEL_BUILD_THRESHOLD {
-            for (i, &flat) in flats.iter().enumerate() {
-                let w = self.soa_cursors[flat as usize];
-                self.soa_cursors[flat as usize] = w + 1;
-                // SAFETY: slot `w` is claimed exactly once (serial cursor).
-                unsafe {
-                    pos_ptr.write(w, cloud.position(i));
-                    idx_ptr.write(w, i as u32);
+        let counts_ptr = SendMut::new(self.count_scratch.as_mut_ptr());
+        let flats = &self.agent_boxes[..n];
+        let offsets = &self.cell_offsets;
+        // Tile boundaries in box space, balanced by slot count: tile t
+        // covers boxes [tile_bounds[t], tile_bounds[t+1]) and therefore a
+        // write window of about n/tiles sorted slots.
+        let tiles = (n * SOA_SLOT_BYTES / SCATTER_TILE_BYTES).clamp(1, MAX_SCATTER_TILES);
+        let mut tile_bounds = [0usize; MAX_SCATTER_TILES + 1];
+        for t in 1..tiles {
+            let target = (t * n / tiles) as u32;
+            tile_bounds[t] = offsets
+                .partition_point(|&o| o < target)
+                .clamp(tile_bounds[t - 1], nboxes);
+        }
+        tile_bounds[tiles] = nboxes;
+        let chunk_len = n.div_ceil(chunks);
+        let scatter_tiles = |c: usize, t_first: usize, t_last: usize| {
+            let row = c * nboxes;
+            let start = c * chunk_len;
+            let end = ((c + 1) * chunk_len).min(n);
+            for t in t_first..t_last {
+                let (b0, b1) = (tile_bounds[t] as u32, tile_bounds[t + 1] as u32);
+                for (i, &flat) in flats.iter().enumerate().take(end).skip(start) {
+                    if flat < b0 || flat >= b1 {
+                        continue;
+                    }
+                    // SAFETY: the cursor row slice [b0, b1) is owned by this
+                    // task (rows are chunk-private; within a row, tile tasks
+                    // cover disjoint box ranges), and cursor ranges
+                    // partition the sorted arrays, so slot `w` is claimed
+                    // exactly once across all tasks.
+                    unsafe {
+                        let cursor = counts_ptr.ptr_at(row + flat as usize);
+                        let w = *cursor as usize;
+                        *cursor += 1;
+                        pos_ptr.write(w, positions.get(i));
+                        idx_ptr.write(w, i as u32);
+                    }
                 }
             }
+        };
+        if chunks > 1 {
+            (0..chunks)
+                .into_par_iter()
+                .for_each(|c| scatter_tiles(c, 0, tiles));
+        } else if tiles > 1 && rayon::current_num_threads() > 1 {
+            // Single count row but real workers: tiles partition the box
+            // space, so tile tasks own disjoint cursor and output regions —
+            // parallel and still deterministic (each task scans the agents
+            // in ascending index order).
+            (0..tiles)
+                .into_par_iter()
+                .for_each(|t| scatter_tiles(0, t, t + 1));
         } else {
-            // SAFETY: usize and AtomicUsize have identical layout; the
-            // cursors are only accessed through the atomic view here. The
-            // pointer comes from `as_mut_ptr` because the view mutates.
-            let cursors = unsafe {
-                std::slice::from_raw_parts(
-                    self.soa_cursors.as_mut_ptr() as *const std::sync::atomic::AtomicUsize,
-                    nboxes,
-                )
-            };
-            (0..n).into_par_iter().for_each(|i| {
-                let w = cursors[flats[i] as usize].fetch_add(1, Ordering::Relaxed);
-                // SAFETY: `fetch_add` hands each slot to exactly one task.
-                unsafe {
-                    pos_ptr.write(w, cloud.position(i));
-                    idx_ptr.write(w, i as u32);
-                }
-            });
+            scatter_tiles(0, 0, tiles);
         }
-        self.soa_active = true;
     }
 }
 
 impl Environment for UniformGridEnvironment {
-    fn update(&mut self, cloud: &dyn PointCloud, interaction_radius: f64) {
+    fn update_with(&mut self, cloud: &dyn PointCloud, interaction_radius: f64, hint: UpdateHint) {
         assert!(
             interaction_radius > 0.0 && interaction_radius.is_finite(),
             "interaction radius must be positive and finite"
         );
         let n = cloud.len();
+        // Resolve the position accessor once: slice-backed clouds (the
+        // engine's snapshot) are read as straight memory in every pass
+        // below; everything else pays one virtual call per point.
+        let positions = match cloud.positions_slice() {
+            Some(s) => Positions::Slice(s),
+            None => Positions::Cloud(cloud),
+        };
         self.num_points = n;
         self.soa_active = false;
+        self.lists_active = false;
         self.timestamp = self.timestamp.wrapping_add(1);
         if self.timestamp == 0 {
             // Extremely rare wrap: all stale stamps become ambiguous; reset.
@@ -337,22 +514,26 @@ impl Environment for UniformGridEnvironment {
             return;
         }
 
-        // Bounding box (parallel reduction above the threshold).
-        let neutral = || (Real3::splat(f64::INFINITY), Real3::splat(f64::NEG_INFINITY));
-        let (min, max) = if n < PARALLEL_BUILD_THRESHOLD {
-            (0..n).fold(neutral(), |(lo, hi), i| {
-                let p = cloud.position(i);
-                (lo.min(&p), hi.max(&p))
-            })
-        } else {
-            (0..n)
-                .into_par_iter()
-                .fold(neutral, |(lo, hi), i| {
-                    let p = cloud.position(i);
+        // Bounding box: taken from the hint when the caller already swept
+        // the cloud (the engine's snapshot gather), otherwise one reduction
+        // pass (parallel above the threshold).
+        let (min, max) = hint.known_bounds.unwrap_or_else(|| {
+            let neutral = || (Real3::splat(f64::INFINITY), Real3::splat(f64::NEG_INFINITY));
+            if n < PARALLEL_BUILD_THRESHOLD {
+                (0..n).fold(neutral(), |(lo, hi), i| {
+                    let p = positions.get(i);
                     (lo.min(&p), hi.max(&p))
                 })
-                .reduce(neutral, |a, b| (a.0.min(&b.0), a.1.max(&b.1)))
-        };
+            } else {
+                (0..n)
+                    .into_par_iter()
+                    .fold(neutral, |(lo, hi), i| {
+                        let p = positions.get(i);
+                        (lo.min(&p), hi.max(&p))
+                    })
+                    .reduce(neutral, |a, b| (a.0.min(&b.0), a.1.max(&b.1)))
+            }
+        });
         self.bounds = Some((min, max));
         self.box_length = interaction_radius;
         self.inv_box_length = 1.0 / interaction_radius;
@@ -366,99 +547,157 @@ impl Environment for UniformGridEnvironment {
             nboxes = nboxes.saturating_mul(self.dims[a] as usize);
         }
 
-        // Grow (never shrink) the box array; fresh boxes get timestamp 0,
-        // which is always stale because `timestamp` starts at 1.
-        if self.boxes.len() < nboxes {
-            let additional = nboxes - self.boxes.len();
-            self.boxes.reserve(additional);
-            let start = self.boxes.len();
-            if additional < PARALLEL_BUILD_THRESHOLD {
-                for _ in 0..additional {
-                    self.boxes.push(AtomicU64::new(pack(0, NIL)));
-                }
-            } else {
-                // Parallel-init the new tail (paper Challenge 1: resizing a
-                // large vector is single-threaded by default).
-                unsafe {
-                    let ptr = BoxesPtr(self.boxes.as_mut_ptr().add(start));
-                    (0..additional).into_par_iter().for_each(|i| {
-                        // SAFETY: each index written exactly once, within capacity.
-                        ptr.write(i, AtomicU64::new(pack(0, NIL)));
-                    });
-                    self.boxes.set_len(nboxes);
+        // Dense clouds get the SoA query cache; sparse clouds skip it to
+        // preserve the O(#agents) rebuild (module docs). The linked lists
+        // are the inverse: sparse clouds need them for the query fallback,
+        // dense clouds build them only on request (lazy list).
+        let build_cache =
+            nboxes <= n.saturating_mul(SOA_MAX_BOXES_PER_POINT) && nboxes <= u32::MAX as usize; // flat indices fit the u32 scratch
+        let build_lists = hint.build_box_lists == BoxListPolicy::Always || !build_cache;
+
+        if build_lists {
+            // Grow (never shrink) the box array; fresh boxes get timestamp
+            // 0, which is always stale because `timestamp` starts at 1.
+            if self.boxes.len() < nboxes {
+                let additional = nboxes - self.boxes.len();
+                self.boxes.reserve(additional);
+                let start = self.boxes.len();
+                if additional < PARALLEL_BUILD_THRESHOLD {
+                    for _ in 0..additional {
+                        self.boxes.push(AtomicU64::new(pack(0, NIL)));
+                    }
+                } else {
+                    // Parallel-init the new tail (paper Challenge 1:
+                    // resizing a large vector is single-threaded by
+                    // default).
+                    unsafe {
+                        let ptr = BoxesPtr(self.boxes.as_mut_ptr().add(start));
+                        (0..additional).into_par_iter().for_each(|i| {
+                            // SAFETY: each index written exactly once, within capacity.
+                            ptr.write(i, AtomicU64::new(pack(0, NIL)));
+                        });
+                        self.boxes.set_len(nboxes);
+                    }
                 }
             }
-        }
-        // `successors` entries are fully overwritten during insertion, so
-        // only growth needs initialization.
-        if self.successors.len() < n {
-            self.successors.resize(n, NIL);
-        }
-
-        // Dense clouds additionally get the SoA query cache (built below);
-        // sparse clouds skip it to preserve the O(#agents) rebuild (module
-        // docs). Decide now so the insertion pass can record each agent's
-        // flat box index for the cache's counting sort.
-        let build_cache = nboxes <= n.saturating_mul(SOA_MAX_BOXES_PER_POINT);
-        if build_cache && self.agent_boxes.len() < n {
-            self.agent_boxes.resize(n, 0);
+            // `successors` entries are fully overwritten during insertion,
+            // so only growth needs initialization.
+            if self.successors.len() < n {
+                self.successors.resize(n, NIL);
+            }
         }
 
-        // Insertion: serial below the threshold (plain stores), one CAS per
-        // agent on the packed box word above it.
+        let chunks = if build_cache {
+            if self.agent_boxes.len() < n {
+                self.agent_boxes.resize(n, 0);
+            }
+            let chunks = Self::count_chunks(n, nboxes);
+            self.count_scratch.clear();
+            self.count_scratch.resize(chunks * nboxes, 0);
+            self.cell_offsets.clear();
+            self.cell_offsets.resize(nboxes + 1, 0);
+            chunks
+        } else {
+            0
+        };
+
+        // The fused build pass: ONE sweep over the cloud computes each
+        // agent's box, feeds the counting sort's histogram, and (only when
+        // requested) pushes the agent onto its box list.
         let ts = self.timestamp;
-        if n < PARALLEL_BUILD_THRESHOLD {
+        let workers = rayon::current_num_threads();
+        if n < PARALLEL_BUILD_THRESHOLD || (chunks == 1 && workers == 1) {
+            // Single-threaded: plain stores instead of CAS, one count row.
             for i in 0..n {
-                let bc = self.box_coordinates(cloud.position(i));
+                let bc = self.box_coordinates(positions.get(i));
                 let flat = self.flat_index(bc);
                 if build_cache {
-                    self.agent_boxes[i] = flat as u64;
+                    self.agent_boxes[i] = flat as u32;
+                    self.count_scratch[flat] += 1;
                 }
-                let b = &self.boxes[flat];
-                let (bts, bhead) = unpack(b.load(Ordering::Relaxed));
-                // Lazy reset: a stale box behaves as empty.
-                let prev = if bts == ts { bhead } else { NIL };
-                b.store(pack(ts, i as u32), Ordering::Relaxed);
-                self.successors[i] = prev;
+                if build_lists {
+                    let b = &self.boxes[flat];
+                    let (bts, bhead) = unpack(b.load(Ordering::Relaxed));
+                    // Lazy reset: a stale box behaves as empty.
+                    let prev = if bts == ts { bhead } else { NIL };
+                    b.store(pack(ts, i as u32), Ordering::Relaxed);
+                    self.successors[i] = prev;
+                }
             }
-        } else {
+        } else if build_cache && chunks == 1 {
+            // The scratch byte cap limited the histogram to a single count
+            // row (very boxy dense cloud) but real workers exist: keep the
+            // sweep parallel with one relaxed fetch_add per agent on a
+            // shared atomic view of the row — increments commute, so the
+            // merged result is identical to the chunk-private histogram.
             let boxes = &self.boxes;
             let successors_ptr = SuccessorsPtr(self.successors.as_mut_ptr());
             let agent_boxes_ptr = SendMut::new(self.agent_boxes.as_mut_ptr());
+            // SAFETY: u32 and AtomicU32 have identical layout; the row is
+            // only accessed through this view inside the parallel region.
+            let counts = unsafe {
+                std::slice::from_raw_parts(
+                    self.count_scratch.as_mut_ptr() as *const std::sync::atomic::AtomicU32,
+                    nboxes,
+                )
+            };
             let grid = &*self;
             (0..n).into_par_iter().for_each(|i| {
-                let bc = grid.box_coordinates(cloud.position(i));
+                let bc = grid.box_coordinates(positions.get(i));
                 let flat = grid.flat_index(bc);
-                if build_cache {
-                    // SAFETY: slot `i` is written by exactly one task.
-                    unsafe { agent_boxes_ptr.write(i, flat as u64) };
+                // SAFETY: slot `i` is written by exactly one task.
+                unsafe { agent_boxes_ptr.write(i, flat as u32) };
+                counts[flat].fetch_add(1, Ordering::Relaxed);
+                if build_lists {
+                    cas_insert(boxes, flat, ts, i, successors_ptr);
                 }
-                let b = &boxes[flat];
-                let mut cur = b.load(Ordering::Relaxed);
-                loop {
-                    let (bts, bhead) = unpack(cur);
-                    // Lazy reset: a stale box behaves as empty.
-                    let prev = if bts == ts { bhead } else { NIL };
-                    match b.compare_exchange_weak(
-                        cur,
-                        pack(ts, i as u32),
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
-                    ) {
-                        Ok(_) => {
-                            // SAFETY: slot `i` is written by exactly one task.
-                            unsafe { successors_ptr.write(i, prev) };
-                            break;
-                        }
-                        Err(c) => cur = c,
+            });
+        } else if build_cache {
+            // Chunked parallel: contiguous agent ranges, one private count
+            // row per chunk — merged below by a prefix sum, so the
+            // histogram needs no shared atomics.
+            let chunk_len = n.div_ceil(chunks);
+            let boxes = &self.boxes;
+            let successors_ptr = SuccessorsPtr(self.successors.as_mut_ptr());
+            let agent_boxes_ptr = SendMut::new(self.agent_boxes.as_mut_ptr());
+            let counts_ptr = SendMut::new(self.count_scratch.as_mut_ptr());
+            let grid = &*self;
+            (0..chunks).into_par_iter().for_each(|c| {
+                let row = c * nboxes;
+                let start = c * chunk_len;
+                let end = ((c + 1) * chunk_len).min(n);
+                for i in start..end {
+                    let bc = grid.box_coordinates(positions.get(i));
+                    let flat = grid.flat_index(bc);
+                    // SAFETY: slot `i` and the chunk-private count row are
+                    // each written by exactly one task.
+                    unsafe {
+                        agent_boxes_ptr.write(i, flat as u32);
+                        *counts_ptr.ptr_at(row + flat) += 1;
+                    }
+                    if build_lists {
+                        cas_insert(boxes, flat, ts, i, successors_ptr);
                     }
                 }
+            });
+        } else {
+            // Sparse cloud: lists only, one CAS per agent.
+            let boxes = &self.boxes;
+            let successors_ptr = SuccessorsPtr(self.successors.as_mut_ptr());
+            let grid = &*self;
+            (0..n).into_par_iter().for_each(|i| {
+                let bc = grid.box_coordinates(positions.get(i));
+                let flat = grid.flat_index(bc);
+                cas_insert(boxes, flat, ts, i, successors_ptr);
             });
         }
 
         if build_cache {
-            self.build_soa(cloud, n, nboxes);
+            self.merge_counts(chunks, nboxes, n);
+            self.scatter_soa(positions, n, nboxes, chunks);
+            self.soa_active = true;
         }
+        self.lists_active = build_lists;
     }
 
     fn for_each_neighbor(
@@ -509,8 +748,8 @@ impl Environment for UniformGridEnvironment {
                         continue;
                     }
                     let row = z_base + y as usize * stride_y;
-                    let start = self.cell_offsets[row + x0];
-                    let end = self.cell_offsets[row + x1 + 1];
+                    let start = self.cell_offsets[row + x0] as usize;
+                    let end = self.cell_offsets[row + x1 + 1] as usize;
                     for slot in start..end {
                         let d2 = pos.distance_sq(&self.sorted_positions[slot]);
                         if d2 <= r2 {
@@ -526,7 +765,9 @@ impl Environment for UniformGridEnvironment {
         }
 
         // Fallback (sparse clouds): 3×3×3 cube of boxes around the query
-        // box, chasing the per-box linked list.
+        // box, chasing the per-box linked list (always built when the SoA
+        // cache is not).
+        debug_assert!(self.lists_active);
         for dz in -1i64..=1 {
             let z = bc[2] as i64 + dz;
             if z < 0 || z >= self.dims[2] as i64 {
@@ -570,18 +811,28 @@ impl Environment for UniformGridEnvironment {
         self.sorted_positions.clear();
         self.sorted_indices.clear();
         self.agent_boxes.clear();
-        self.soa_cursors.clear();
+        self.count_scratch.clear();
         self.soa_active = false;
+        self.lists_active = false;
     }
 
     fn memory_bytes(&self) -> usize {
-        self.boxes.capacity() * std::mem::size_of::<AtomicU64>()
-            + self.successors.capacity() * std::mem::size_of::<u32>()
-            + self.cell_offsets.capacity() * std::mem::size_of::<usize>()
-            + self.sorted_positions.capacity() * std::mem::size_of::<Real3>()
-            + self.sorted_indices.capacity() * std::mem::size_of::<u32>()
-            + self.agent_boxes.capacity() * std::mem::size_of::<u64>()
-            + self.soa_cursors.capacity() * std::mem::size_of::<usize>()
+        // Only structures the *current* build materialized count (fig09's
+        // memory column): a lazy-skipped linked list costs nothing even if
+        // its buffers linger from an earlier iteration, and vice versa.
+        let mut bytes = 0;
+        if self.lists_active {
+            bytes += self.boxes.capacity() * std::mem::size_of::<AtomicU64>()
+                + self.successors.capacity() * std::mem::size_of::<u32>();
+        }
+        if self.soa_active {
+            bytes += self.cell_offsets.capacity() * std::mem::size_of::<u32>()
+                + self.sorted_positions.capacity() * std::mem::size_of::<Real3>()
+                + self.sorted_indices.capacity() * std::mem::size_of::<u32>()
+                + self.agent_boxes.capacity() * std::mem::size_of::<u32>()
+                + self.count_scratch.capacity() * std::mem::size_of::<u32>();
+        }
+        bytes
     }
 
     fn name(&self) -> &'static str {
@@ -594,6 +845,52 @@ impl Environment for UniformGridEnvironment {
 
     fn as_uniform_grid(&self) -> Option<&UniformGridEnvironment> {
         Some(self)
+    }
+}
+
+/// Position accessor resolved once per rebuild (see
+/// [`PointCloud::positions_slice`]): slice-backed clouds read straight
+/// memory in the O(#agents) sweeps, everything else goes through the
+/// virtual call.
+#[derive(Clone, Copy)]
+enum Positions<'a> {
+    Slice(&'a [Real3]),
+    Cloud(&'a dyn PointCloud),
+}
+
+impl Positions<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> Real3 {
+        match self {
+            Positions::Slice(s) => s[i],
+            Positions::Cloud(c) => c.position(i),
+        }
+    }
+}
+
+/// One linked-list insertion: CAS the packed `(timestamp, head)` word of the
+/// box, then publish the previous head as the agent's successor.
+#[inline]
+fn cas_insert(boxes: &[AtomicU64], flat: usize, ts: u32, i: usize, successors: SuccessorsPtr) {
+    let b = &boxes[flat];
+    let mut cur = b.load(Ordering::Relaxed);
+    loop {
+        let (bts, bhead) = unpack(cur);
+        // Lazy reset: a stale box behaves as empty.
+        let prev = if bts == ts { bhead } else { NIL };
+        match b.compare_exchange_weak(
+            cur,
+            pack(ts, i as u32),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => {
+                // SAFETY: slot `i` is written by exactly one task.
+                unsafe { successors.write(i, prev) };
+                break;
+            }
+            Err(c) => cur = c,
+        }
     }
 }
 

@@ -3,11 +3,20 @@
 //! and radii (the correctness contract behind paper Figure 11's comparison).
 
 use bdm_env::{
-    neighbors_of, BruteForceEnvironment, Environment, KdTreeEnvironment, OctreeEnvironment,
-    SliceCloud, UniformGridEnvironment,
+    neighbors_of, BoxListPolicy, BruteForceEnvironment, Environment, KdTreeEnvironment,
+    OctreeEnvironment, SliceCloud, UniformGridEnvironment, UpdateHint,
 };
 use bdm_util::{Real3, SimRng};
 use proptest::prelude::*;
+
+/// Hint of the engine's steady state: no consumer wants the linked lists,
+/// bounds unknown.
+fn lazy_hint() -> UpdateHint {
+    UpdateHint {
+        build_box_lists: BoxListPolicy::IfNeeded,
+        known_bounds: None,
+    }
+}
 
 /// Views a position slice as a `PointCloud`.
 fn pc(points: &[Real3]) -> SliceCloud<'_> {
@@ -288,6 +297,138 @@ fn grid_parallel_build_above_threshold_matches_brute() {
             neighbors_of(&grid, &pc(&points), p, Some(i), 4.0),
             neighbors_of(&brute, &pc(&points), p, Some(i), 4.0),
             "parallel-build path, query {i}"
+        );
+    }
+}
+
+#[test]
+fn lazy_lists_skipped_on_dense_hint_with_full_parity() {
+    // Engine steady state: dense cloud + IfNeeded hint. The CAS linked-list
+    // insertion must be skipped, the SoA cache must serve queries AND the
+    // box-enumeration accessors, and results must match brute force.
+    let points = random_points(61, 500, 25.0);
+    let mut grid = UniformGridEnvironment::new();
+    grid.update_with(&pc(&points), 3.0, lazy_hint());
+    assert!(grid.soa_active() && !grid.lists_active());
+
+    let mut brute = BruteForceEnvironment::new();
+    brute.update(&pc(&points), 3.0);
+    for (i, &p) in points.iter().enumerate() {
+        assert_eq!(
+            neighbors_of(&grid, &pc(&points), p, Some(i), 3.0),
+            neighbors_of(&brute, &pc(&points), p, Some(i), 3.0),
+            "lazy-list query {i}"
+        );
+    }
+    // for_each_in_box serves from the SoA cache when the lists are off.
+    let mut seen = vec![false; points.len()];
+    for flat in 0..grid.num_boxes() {
+        let slice = grid.box_agents(flat).expect("SoA cache active");
+        let mut walked = Vec::new();
+        grid.for_each_in_box(flat, &mut |i| walked.push(i));
+        assert_eq!(walked, slice.to_vec());
+        for &i in slice {
+            assert!(!seen[i as usize], "agent {i} listed twice");
+            seen[i as usize] = true;
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "every agent is in exactly one box");
+    // The grid's memory report reflects only what this build materialized:
+    // SoA yes, linked list no.
+    let lazy_bytes = grid.memory_bytes();
+    grid.update(&pc(&points), 3.0); // default hint: both structures
+    assert!(grid.lists_active());
+    assert!(
+        grid.memory_bytes() > lazy_bytes,
+        "list buffers must count only when the lists were built"
+    );
+}
+
+#[test]
+fn soa_and_linked_list_group_identically_when_both_built() {
+    // Default hint on a dense cloud builds BOTH structures; per box they
+    // must hold exactly the same agent set (the list is reverse insertion
+    // order, the SoA run ascending agent index).
+    let points = random_points(67, 400, 20.0);
+    let mut grid = UniformGridEnvironment::new();
+    grid.update(&pc(&points), 2.5);
+    assert!(grid.soa_active() && grid.lists_active());
+    for flat in 0..grid.num_boxes() {
+        let mut from_soa = grid.box_agents(flat).unwrap().to_vec();
+        let mut from_list = Vec::new();
+        let mut cur = grid.box_head(flat);
+        while let Some(i) = cur {
+            from_list.push(i);
+            cur = grid.successor(i);
+        }
+        from_soa.sort_unstable();
+        from_list.sort_unstable();
+        assert_eq!(from_soa, from_list, "box {flat}");
+    }
+}
+
+#[test]
+fn regime_flip_dense_sparse_dense_reuses_buffers_without_stale_reads() {
+    // One grid instance under the engine hint, flipped between regimes:
+    // dense (SoA only) → sparse (lists forced despite the hint) → dense
+    // again. Every phase must agree with brute force and the activity
+    // flags must track the regime — stale buffers from the previous
+    // regime must never be read.
+    let mut grid = UniformGridEnvironment::new();
+    let mut brute = BruteForceEnvironment::new();
+    let dense = random_points(71, 600, 25.0);
+    let sparse = random_points(72, 40, 2000.0);
+
+    for (round, (points, radius)) in [(&dense, 3.0), (&sparse, 30.0), (&dense, 3.0)]
+        .into_iter()
+        .enumerate()
+    {
+        grid.update_with(&pc(points), radius, lazy_hint());
+        let dense_round = round != 1;
+        assert_eq!(grid.soa_active(), dense_round, "round {round}");
+        assert_eq!(
+            grid.lists_active(),
+            !dense_round,
+            "sparse rounds must force the lists, dense rounds must skip them"
+        );
+        brute.update(&pc(points), radius);
+        for (i, &p) in points.iter().enumerate() {
+            assert_eq!(
+                neighbors_of(&grid, &pc(points), p, Some(i), radius),
+                neighbors_of(&brute, &pc(points), p, Some(i), radius),
+                "round {round}, query {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn known_bounds_hint_matches_self_computed_bounds() {
+    // Passing precomputed bounds must produce the identical grid shape and
+    // query results as letting the grid compute them.
+    let points = random_points(79, 300, 15.0);
+    let (mut lo, mut hi) = (points[0], points[0]);
+    for p in &points[1..] {
+        lo = lo.min(p);
+        hi = hi.max(p);
+    }
+    let mut self_computed = UniformGridEnvironment::new();
+    self_computed.update(&pc(&points), 2.0);
+    let mut hinted = UniformGridEnvironment::new();
+    hinted.update_with(
+        &pc(&points),
+        2.0,
+        UpdateHint {
+            build_box_lists: BoxListPolicy::Always,
+            known_bounds: Some((lo, hi)),
+        },
+    );
+    assert_eq!(hinted.dims(), self_computed.dims());
+    assert_eq!(hinted.bounds(), self_computed.bounds());
+    for (i, &p) in points.iter().enumerate() {
+        assert_eq!(
+            neighbors_of(&hinted, &pc(&points), p, Some(i), 2.0),
+            neighbors_of(&self_computed, &pc(&points), p, Some(i), 2.0),
         );
     }
 }

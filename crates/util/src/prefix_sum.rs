@@ -32,14 +32,64 @@ pub fn prefix_sum_inclusive(values: &mut [usize]) -> usize {
     acc
 }
 
-/// Parallel in-place **inclusive** prefix sum.
-///
-/// Falls back to the serial scan for small inputs where parallelism cannot
-/// pay for itself.
-pub fn inclusive_prefix_sum_parallel(values: &mut [usize]) -> usize {
+/// Counter widths the parallel block scan is instantiated for.
+pub trait PrefixElem: Copy + Send + Sync {
+    /// The additive identity.
+    fn zero() -> Self;
+    /// Element addition (totals are guaranteed to fit by the caller).
+    fn add(self, rhs: Self) -> Self;
+    /// Narrowing conversion from an accumulated block offset.
+    fn from_usize(v: usize) -> Self;
+    /// Widening conversion for block totals.
+    fn as_usize(self) -> usize;
+}
+
+impl PrefixElem for usize {
+    fn zero() -> Self {
+        0
+    }
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    fn from_usize(v: usize) -> Self {
+        v
+    }
+    fn as_usize(self) -> usize {
+        self
+    }
+}
+
+impl PrefixElem for u32 {
+    fn zero() -> Self {
+        0
+    }
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+    fn from_usize(v: usize) -> Self {
+        v as u32
+    }
+    fn as_usize(self) -> usize {
+        self as usize
+    }
+}
+
+/// The block-scan shared by both public widths: inclusive scan within each
+/// block, exclusive scan over the tiny block-total array, parallel offset
+/// fix-up. Falls back to one serial scan for small inputs where parallelism
+/// cannot pay for itself.
+fn inclusive_scan_parallel<T: PrefixElem>(values: &mut [T]) -> usize {
     const MIN_PARALLEL: usize = 1 << 14;
+    let serial = |chunk: &mut [T]| {
+        let mut acc = T::zero();
+        for v in chunk.iter_mut() {
+            acc = acc.add(*v);
+            *v = acc;
+        }
+        acc
+    };
     if values.len() < MIN_PARALLEL {
-        return prefix_sum_inclusive(values);
+        return serial(values).as_usize();
     }
     let threads = rayon::current_num_threads().max(1);
     let block = values.len().div_ceil(threads);
@@ -47,14 +97,7 @@ pub fn inclusive_prefix_sum_parallel(values: &mut [usize]) -> usize {
     // Pass 1: inclusive scan within each block, collect block totals.
     let mut block_sums: Vec<usize> = values
         .par_chunks_mut(block)
-        .map(|chunk| {
-            let mut acc = 0usize;
-            for v in chunk.iter_mut() {
-                acc += *v;
-                *v = acc;
-            }
-            acc
-        })
+        .map(|chunk| serial(chunk).as_usize())
         .collect();
 
     // Pass 2: exclusive scan over the (tiny) block totals.
@@ -66,12 +109,29 @@ pub fn inclusive_prefix_sum_parallel(values: &mut [usize]) -> usize {
         .zip(block_sums.par_iter())
         .for_each(|(chunk, &offset)| {
             if offset != 0 {
+                let offset = T::from_usize(offset);
                 for v in chunk.iter_mut() {
-                    *v += offset;
+                    *v = v.add(offset);
                 }
             }
         });
     total
+}
+
+/// Parallel in-place **inclusive** prefix sum.
+///
+/// Falls back to the serial scan for small inputs where parallelism cannot
+/// pay for itself.
+pub fn inclusive_prefix_sum_parallel(values: &mut [usize]) -> usize {
+    inclusive_scan_parallel(values)
+}
+
+/// Parallel in-place **inclusive** prefix sum over `u32` counters (the
+/// uniform grid's box-offset table stores `u32` to halve the memory traffic
+/// of its O(#boxes) merge passes). The caller guarantees the total fits in
+/// `u32`; it is returned widened for convenience.
+pub fn inclusive_prefix_sum_parallel_u32(values: &mut [u32]) -> usize {
+    inclusive_scan_parallel(values)
 }
 
 #[cfg(test)]
@@ -115,6 +175,22 @@ mod tests {
         let tb = inclusive_prefix_sum_parallel(&mut b);
         assert_eq!(ta, tb);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn u32_parallel_matches_serial() {
+        let n = 100_000;
+        let src: Vec<u32> = (0..n)
+            .map(|i| ((i * 2654435761usize) % 17) as u32)
+            .collect();
+        let mut a = src.clone();
+        let total = inclusive_prefix_sum_parallel_u32(&mut a);
+        let mut acc = 0u32;
+        for (i, &v) in src.iter().enumerate() {
+            acc += v;
+            assert_eq!(a[i], acc);
+        }
+        assert_eq!(total, acc as usize);
     }
 
     proptest! {
