@@ -68,7 +68,7 @@ fn bench_search(c: &mut Criterion) {
                         Some(i),
                         radius,
                         &mut scratch,
-                        &mut |j, _d2| acc = acc.wrapping_add(j),
+                        &mut |j, _p, _d2| acc = acc.wrapping_add(j),
                     );
                 }
                 black_box(acc)
@@ -127,7 +127,7 @@ fn bench_tree_parameters(c: &mut Criterion) {
                             Some(i),
                             radius,
                             &mut scratch,
-                            &mut |j, _| acc = acc.wrapping_add(j),
+                            &mut |j, _, _| acc = acc.wrapping_add(j),
                         );
                     }
                     black_box(acc)
@@ -143,9 +143,14 @@ fn bench_tree_parameters(c: &mut Criterion) {
                 env.update(black_box(&slice), radius);
                 let mut acc = 0usize;
                 for (i, &p) in points.iter().enumerate().step_by(29) {
-                    env.for_each_neighbor(&slice, p, Some(i), radius, &mut scratch, &mut |j, _| {
-                        acc = acc.wrapping_add(j)
-                    });
+                    env.for_each_neighbor(
+                        &slice,
+                        p,
+                        Some(i),
+                        radius,
+                        &mut scratch,
+                        &mut |j, _, _| acc = acc.wrapping_add(j),
+                    );
                 }
                 black_box(acc)
             })

@@ -72,13 +72,17 @@ fn main() {
         ]);
 
         if args.proxy {
-            // Memory-traffic estimate per iteration: every agent's snapshot
-            // entry is written once (40 B) and read once per neighbor visit
-            // of a force calculation (2 agents x 40 B), and the agent object
-            // itself is touched (~128 B of hot state).
+            // Memory-traffic estimate per iteration, per the SoA snapshot
+            // layout: the gather streams exactly `snapshot_bytes` (the
+            // per-array sum the engine reports — payloads drop out when the
+            // model's NeighborAccess skips them), a force calculation reads
+            // the streamed 24 B position run plus one lazy 8 B diameter per
+            // partner, and the agent object itself is touched (~128 B of
+            // hot state).
             let per_iter_forces = report.force_calculations as f64 / iterations as f64;
-            let bytes_per_iter =
-                report.final_agents as f64 * (40.0 + 128.0) + per_iter_forces * 2.0 * 40.0;
+            let bytes_per_iter = report.snapshot_bytes as f64
+                + report.final_agents as f64 * 128.0
+                + per_iter_forces * 2.0 * (24.0 + 8.0);
             let agent_op_secs = report.bucket("agent_ops") / iterations as f64;
             let gbps = if agent_op_secs > 0.0 {
                 bytes_per_iter / agent_op_secs / 1e9

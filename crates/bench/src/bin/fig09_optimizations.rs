@@ -34,6 +34,7 @@ fn main() {
         "s/iteration",
         "speedup vs standard",
         "memory vs standard",
+        "snapshot memory",
     ]);
     let mut full_speedups = Vec::new();
     let mut grid_step = Vec::new();
@@ -63,6 +64,9 @@ fn main() {
                 fmt_secs(per_iter),
                 fmt_speedup(speedup),
                 mem_ratio,
+                // Per-array SoA accounting from the engine (payloads only
+                // when the model's kernels declared them).
+                bdm_util::format_bytes(report.snapshot_bytes),
             ]);
             match opt {
                 OptLevel::UniformGrid => grid_step.push(base_secs / per_iter),

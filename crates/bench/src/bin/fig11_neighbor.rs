@@ -45,6 +45,7 @@ fn main() {
         "build (s/iter)",
         "search proxy (s/iter)",
         "index memory",
+        "snapshot memory",
     ]);
     let mut grid_vs_kdtree_whole = Vec::new();
     let mut grid_vs_kdtree_build = Vec::new();
@@ -65,6 +66,10 @@ fn main() {
                     fmt_secs(report.bucket("environment_update") / iterations as f64),
                     fmt_secs(report.bucket("agent_ops") / iterations as f64),
                     fmt_bytes(report.env_bytes),
+                    // Per-array SoA accounting from the engine: payload
+                    // bytes appear only for models whose kernels declared
+                    // NeighborAccess::PAYLOADS.
+                    fmt_bytes(report.snapshot_bytes),
                 ]);
                 match env_label {
                     "uniform_grid" => grid_report = Some(report),

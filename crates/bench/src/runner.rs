@@ -115,6 +115,7 @@ pub fn report_from_sim(sim: &Simulation, iterations: usize, wall_secs: f64) -> R
         agents_removed: stats.agents_removed,
         sorts: stats.sorts,
         env_bytes: sim.environment_memory_bytes() as u64,
+        snapshot_bytes: sim.snapshot_memory_bytes() as u64,
         pool_reserved_bytes: mem.reserved_bytes,
         pool_allocations: mem.pool_allocations,
         system_allocations: mem.system_allocations,

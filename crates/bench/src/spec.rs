@@ -242,6 +242,10 @@ pub struct RunReport {
     pub sorts: u64,
     /// Heap footprint of the neighbor-search index, bytes (Figure 11d).
     pub env_bytes: u64,
+    /// Heap bytes of the engine's per-iteration snapshot arrays, per the
+    /// SoA layout (positions + diameters + payloads-if-gathered); 0 for the
+    /// baseline engine, which has no snapshot.
+    pub snapshot_bytes: u64,
     /// Bytes reserved by the pool allocator.
     pub pool_reserved_bytes: u64,
     /// Allocations served by the pool allocator.
@@ -271,8 +275,8 @@ impl RunReport {
         let _ = write!(
             s,
             "wall_secs={} iterations={} final_agents={} peak_rss={} force_calcs={} \
-             static_skipped={} added={} removed={} sorts={} env_bytes={} pool_reserved={} \
-             pool_allocs={} sys_allocs={}",
+             static_skipped={} added={} removed={} sorts={} env_bytes={} snapshot_bytes={} \
+             pool_reserved={} pool_allocs={} sys_allocs={}",
             self.wall_secs,
             self.iterations,
             self.final_agents,
@@ -283,6 +287,7 @@ impl RunReport {
             self.agents_removed,
             self.sorts,
             self.env_bytes,
+            self.snapshot_bytes,
             self.pool_reserved_bytes,
             self.pool_allocations,
             self.system_allocations
@@ -317,6 +322,13 @@ impl RunReport {
             agents_removed: num("removed")?,
             sorts: num("sorts")?,
             env_bytes: num("env_bytes")?,
+            // Absent in reports from pre-SoA binaries; tolerate for
+            // mixed-version comparisons of committed CSV protocols.
+            snapshot_bytes: map
+                .get("snapshot_bytes")
+                .map(|v| v.parse::<u64>().map_err(|_| "bad snapshot_bytes"))
+                .transpose()?
+                .unwrap_or(0),
             pool_reserved_bytes: num("pool_reserved")?,
             pool_allocations: num("pool_allocs")?,
             system_allocations: num("sys_allocs")?,
@@ -436,6 +448,7 @@ mod tests {
             agents_removed: 3,
             sorts: 2,
             env_bytes: 4096,
+            snapshot_bytes: 2048,
             pool_reserved_bytes: 65536,
             pool_allocations: 100,
             system_allocations: 5,

@@ -11,6 +11,15 @@
 //! agent index, so agent sorting (Section 4.2) aligns spatial locality with
 //! memory locality for neighbor reads exactly as it does for the original's
 //! pointer-chasing reads.
+//!
+//! The snapshot is a **structure of arrays** (paper Section 4, Figure 9/11:
+//! memory-layout optimizations dominate end-to-end performance): parallel
+//! `positions` / `diameters` / `payloads` arrays instead of one array of
+//! 40-byte records. A neighbor visit streams positions from the index's
+//! contiguous runs and loads `diameters[idx]` / `payloads[idx]` *lazily* —
+//! only for accepted neighbors, and only for the arrays the kernel's
+//! declared [`NeighborAccess`] actually reads. When no due kernel reads
+//! payloads, the engine skips gathering the `payloads` array entirely.
 
 use bdm_alloc::MemoryManager;
 use bdm_diffusion::DiffusionGrid;
@@ -20,31 +29,110 @@ use bdm_util::{Real3, SimRng};
 use crate::agent::{new_agent_box, Agent, AgentBox, AgentHandle, AgentUid};
 use crate::rng_stream;
 
-/// Per-agent data visible to neighbors during the agent-operation phase.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct NeighborData {
-    /// Position at the start of the iteration.
-    pub position: Real3,
-    /// Diameter at the start of the iteration.
-    pub diameter: f64,
-    /// User-defined payload ([`Agent::payload`]), e.g. cell type or
-    /// infection state.
-    pub payload: u64,
+/// Which per-neighbor snapshot arrays a kernel reads — the capability a
+/// force/behavior kernel (or a custom
+/// [`Operation`](crate::scheduler::Operation)) declares so the engine can
+/// skip gathering and streaming arrays nobody will touch, analogous to
+/// [`Operation::requires_box_lists`](crate::scheduler::Operation::requires_box_lists)
+/// for the grid's linked lists.
+///
+/// `POSITIONS` and `DIAMETERS` are always gathered (the snapshot's position
+/// array feeds the index rebuild and the max-diameter reduction needs every
+/// diameter anyway); today only `PAYLOADS` changes what the gather writes.
+/// Declaring the full truth anyway is what keeps the capability future-proof
+/// and the Figure 5 memory-traffic proxy honest.
+///
+/// Flags combine with `|`:
+///
+/// ```
+/// use bdm_core::NeighborAccess;
+///
+/// let access = NeighborAccess::POSITIONS | NeighborAccess::PAYLOADS;
+/// assert!(access.contains(NeighborAccess::PAYLOADS));
+/// assert!(!access.contains(NeighborAccess::DIAMETERS));
+/// assert_eq!(access | NeighborAccess::NONE, access);
+/// assert!(NeighborAccess::ALL.contains(access));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NeighborAccess(u8);
+
+impl NeighborAccess {
+    /// Reads nothing from the snapshot (e.g. a kernel without neighbor
+    /// queries, or one that only counts neighbors by distance).
+    pub const NONE: NeighborAccess = NeighborAccess(0);
+    /// Reads neighbor positions (implied by issuing any neighbor query —
+    /// the distance test streams them; always gathered).
+    pub const POSITIONS: NeighborAccess = NeighborAccess(1);
+    /// Reads neighbor diameters (the collision force does; always gathered).
+    pub const DIAMETERS: NeighborAccess = NeighborAccess(1 << 1);
+    /// Reads neighbor payloads ([`Agent::payload`], e.g. cell type or
+    /// infection state). Gathered only when some due kernel declares this.
+    pub const PAYLOADS: NeighborAccess = NeighborAccess(1 << 2);
+    /// Everything — the conservative default for kernels that do not
+    /// declare their access pattern.
+    pub const ALL: NeighborAccess =
+        NeighborAccess(Self::POSITIONS.0 | Self::DIAMETERS.0 | Self::PAYLOADS.0);
+
+    /// Union of two access sets (const-friendly version of `|`).
+    #[must_use]
+    pub const fn union(self, other: NeighborAccess) -> NeighborAccess {
+        NeighborAccess(self.0 | other.0)
+    }
+
+    /// Whether every flag of `other` is present in `self`.
+    pub const fn contains(self, other: NeighborAccess) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the set includes [`NeighborAccess::PAYLOADS`].
+    pub const fn reads_payloads(self) -> bool {
+        self.contains(NeighborAccess::PAYLOADS)
+    }
+}
+
+impl Default for NeighborAccess {
+    /// The conservative default: [`NeighborAccess::ALL`].
+    fn default() -> NeighborAccess {
+        NeighborAccess::ALL
+    }
+}
+
+impl std::ops::BitOr for NeighborAccess {
+    type Output = NeighborAccess;
+    fn bitor(self, rhs: NeighborAccess) -> NeighborAccess {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitOrAssign for NeighborAccess {
+    fn bitor_assign(&mut self, rhs: NeighborAccess) {
+        *self = self.union(rhs);
+    }
 }
 
 /// Immutable per-iteration snapshot of all agents (domain-major order, same
-/// indexing as the environment's point cloud).
+/// indexing as the environment's point cloud), stored as a structure of
+/// arrays: the gather writes each array in one contiguous stream, and
+/// neighbor reads touch only the arrays the kernel declared in its
+/// [`NeighborAccess`].
 #[derive(Debug, Default)]
 pub struct Snapshot {
-    /// Per-agent data, concatenated over domains.
-    pub data: Vec<NeighborData>,
-    /// The positions of `data` again, as one dense array: the environment
-    /// rebuild and the sparse-grid query fallback stream positions and
-    /// nothing else, so they read this (24-byte stride, no virtual call via
-    /// [`bdm_env::PointCloud::positions_slice`]) instead of striding
-    /// through the 40-byte `NeighborData` records.
+    /// Position of every agent at the start of the iteration. Doubles as
+    /// the environment rebuild's point cloud (24-byte stride, no virtual
+    /// call via [`bdm_env::PointCloud::positions_slice`]).
     pub positions: Vec<Real3>,
-    /// Start offset of each domain within `data` (plus a final total).
+    /// Diameter of every agent at the start of the iteration (parallel to
+    /// `positions`).
+    pub diameters: Vec<f64>,
+    /// User payload ([`Agent::payload`]) of every agent, parallel to
+    /// `positions` — **empty** when no due kernel declared
+    /// [`NeighborAccess::PAYLOADS`] (see `payloads_gathered`).
+    pub payloads: Vec<u64>,
+    /// Whether `payloads` was gathered this iteration. When `false`,
+    /// [`Neighbor::payload`] panics: a kernel reading payloads without
+    /// declaring them is a capability bug, not a silent zero.
+    pub payloads_gathered: bool,
+    /// Start offset of each domain within the arrays (plus a final total).
     pub offsets: Vec<usize>,
     /// Largest agent diameter (drives the default interaction radius).
     pub max_diameter: f64,
@@ -74,12 +162,26 @@ impl Snapshot {
 
     /// Number of agents in the snapshot.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.positions.len()
     }
 
     /// True if the snapshot is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.positions.is_empty()
+    }
+
+    /// Heap bytes of the arrays the current gather materialized, per the
+    /// SoA layout (a skipped `payloads` array costs nothing even if its
+    /// buffer lingers from an earlier iteration). The Figure 5/9/11
+    /// harness reports this instead of assuming a record size.
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.positions.len() * std::mem::size_of::<Real3>()
+            + self.diameters.len() * std::mem::size_of::<f64>()
+            + self.offsets.len() * std::mem::size_of::<usize>();
+        if self.payloads_gathered {
+            bytes += self.payloads.len() * std::mem::size_of::<u64>();
+        }
+        bytes
     }
 }
 
@@ -89,13 +191,70 @@ pub struct SnapshotCloud<'a>(pub &'a Snapshot);
 
 impl PointCloud for SnapshotCloud<'_> {
     fn len(&self) -> usize {
-        self.0.data.len()
+        self.0.positions.len()
     }
     fn position(&self, idx: usize) -> Real3 {
-        self.0.data[idx].position
+        self.0.positions[idx]
     }
     fn positions_slice(&self) -> Option<&[Real3]> {
         Some(&self.0.positions)
+    }
+}
+
+/// One accepted neighbor, handed to [`AgentContext::for_each_neighbor`]
+/// callbacks.
+///
+/// The position is carried **by value** — the neighbor index streamed it
+/// from its contiguous SoA run for the distance test, so reading it costs
+/// nothing. Diameter and payload are **lazy**: each accessor loads from the
+/// snapshot's dense array only when called, so a kernel that ignores a
+/// field never touches its array (the payload array may not even have been
+/// gathered — see [`NeighborAccess`]).
+#[derive(Clone, Copy)]
+pub struct Neighbor<'a> {
+    snapshot: &'a Snapshot,
+    index: usize,
+    position: Real3,
+}
+
+impl Neighbor<'_> {
+    /// Global (environment/snapshot) index of the neighbor.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Position at the start of the iteration (already streamed by the
+    /// index; no snapshot load).
+    #[inline]
+    pub fn position(&self) -> Real3 {
+        self.position
+    }
+
+    /// Diameter at the start of the iteration (one lazy 8-byte load).
+    #[inline]
+    pub fn diameter(&self) -> f64 {
+        self.snapshot.diameters[self.index]
+    }
+
+    /// User payload ([`Agent::payload`]) at the start of the iteration
+    /// (one lazy 8-byte load).
+    ///
+    /// # Panics
+    /// If the engine skipped the payload gather this iteration because no
+    /// due kernel declared [`NeighborAccess::PAYLOADS`] — declare the
+    /// access on the kernel (see
+    /// [`Behavior::neighbor_access`](crate::behavior::Behavior::neighbor_access),
+    /// [`Param::neighbor_access`](crate::param::Param::neighbor_access)).
+    #[inline]
+    pub fn payload(&self) -> u64 {
+        assert!(
+            self.snapshot.payloads_gathered,
+            "neighbor payloads were not gathered this iteration; declare \
+             NeighborAccess::PAYLOADS on the kernel that reads them \
+             (Param::neighbor_access / Operation::neighbor_access)"
+        );
+        self.snapshot.payloads[self.index]
     }
 }
 
@@ -214,18 +373,41 @@ impl<'a> AgentContext<'a> {
     }
 
     /// Visits every neighbor within `radius` of `pos`, excluding the current
-    /// agent. The callback receives `(global index, data, distance²)` — all
-    /// reads go to the immutable snapshot, never to live agents. Queries
-    /// reuse this thread's [`NeighborQueryScratch`], so they allocate
-    /// nothing in steady state (hence `&mut self`).
+    /// agent. The callback receives `(global index, neighbor, distance²)` —
+    /// all reads go to the immutable snapshot, never to live agents. The
+    /// [`Neighbor`] view carries the position the index already streamed
+    /// from its contiguous SoA run; diameter/payload load lazily, only when
+    /// the kernel calls the accessor. Queries reuse this thread's
+    /// [`NeighborQueryScratch`], so they allocate nothing in steady state
+    /// (hence `&mut self`).
     pub fn for_each_neighbor(
         &mut self,
         pos: Real3,
         radius: f64,
-        mut f: impl FnMut(usize, &NeighborData, f64),
+        mut f: impl FnMut(usize, Neighbor<'_>, f64),
     ) {
+        let snapshot = self.snapshot;
+        // Fast path: the uniform grid's SoA cache with the kernel closure
+        // monomorphized straight into the nine-run scan — no virtual call
+        // per query or per neighbor (the dominant cost at 10⁶ agents).
+        if let Some(grid) = self.env.as_uniform_grid() {
+            let served =
+                grid.for_each_neighbor_soa(pos, Some(self.self_global), radius, |idx, p, d2| {
+                    f(
+                        idx,
+                        Neighbor {
+                            snapshot,
+                            index: idx,
+                            position: p,
+                        },
+                        d2,
+                    )
+                });
+            if served {
+                return;
+            }
+        }
         let cloud = SnapshotCloud(self.snapshot);
-        let data = &self.snapshot.data;
         let scratch = &mut self.exec.query_scratch;
         self.env.for_each_neighbor(
             &cloud,
@@ -233,7 +415,17 @@ impl<'a> AgentContext<'a> {
             Some(self.self_global),
             radius,
             scratch,
-            &mut |idx, d2| f(idx, &data[idx], d2),
+            &mut |idx, p, d2| {
+                f(
+                    idx,
+                    Neighbor {
+                        snapshot,
+                        index: idx,
+                        position: p,
+                    },
+                    d2,
+                )
+            },
         );
     }
 
@@ -242,7 +434,7 @@ impl<'a> AgentContext<'a> {
         &mut self,
         pos: Real3,
         radius: f64,
-        mut pred: impl FnMut(&NeighborData) -> bool,
+        mut pred: impl FnMut(Neighbor<'_>) -> bool,
     ) -> usize {
         let mut n = 0;
         self.for_each_neighbor(pos, radius, |_, d, _| {
@@ -319,8 +511,10 @@ mod tests {
 
     fn snapshot(offsets: Vec<usize>, n: usize) -> Snapshot {
         Snapshot {
-            data: vec![NeighborData::default(); n],
             positions: vec![Real3::ZERO; n],
+            diameters: vec![0.0; n],
+            payloads: vec![0; n],
+            payloads_gathered: true,
             offsets,
             max_diameter: 10.0,
             bounds: None,
@@ -350,6 +544,63 @@ mod tests {
         // Global 2 belongs to domain 2 (domain 1 is empty).
         assert_eq!(s.split_index(2), (2, 0));
         assert_eq!(s.split_index(4), (2, 2));
+    }
+
+    #[test]
+    fn neighbor_access_flags_combine() {
+        let a = NeighborAccess::POSITIONS | NeighborAccess::DIAMETERS;
+        assert!(a.contains(NeighborAccess::POSITIONS));
+        assert!(a.contains(NeighborAccess::DIAMETERS));
+        assert!(!a.reads_payloads());
+        assert!((a | NeighborAccess::PAYLOADS).reads_payloads());
+        assert_eq!(a | NeighborAccess::NONE, a);
+        assert!(NeighborAccess::ALL.contains(a));
+        assert_eq!(NeighborAccess::default(), NeighborAccess::ALL);
+        let mut acc = NeighborAccess::NONE;
+        acc |= NeighborAccess::PAYLOADS;
+        assert!(acc.reads_payloads());
+        assert!(!NeighborAccess::NONE.contains(NeighborAccess::POSITIONS));
+    }
+
+    #[test]
+    fn neighbor_view_loads_lazily() {
+        let mut s = snapshot(vec![0, 2], 2);
+        s.diameters[1] = 7.5;
+        s.payloads[1] = 42;
+        let n = Neighbor {
+            snapshot: &s,
+            index: 1,
+            position: Real3::new(1.0, 2.0, 3.0),
+        };
+        assert_eq!(n.index(), 1);
+        assert_eq!(n.position(), Real3::new(1.0, 2.0, 3.0));
+        assert_eq!(n.diameter(), 7.5);
+        assert_eq!(n.payload(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "payloads were not gathered")]
+    fn neighbor_payload_panics_when_skipped() {
+        let mut s = snapshot(vec![0, 2], 2);
+        s.payloads.clear();
+        s.payloads_gathered = false;
+        let n = Neighbor {
+            snapshot: &s,
+            index: 0,
+            position: Real3::ZERO,
+        };
+        let _ = n.payload();
+    }
+
+    #[test]
+    fn snapshot_memory_counts_only_gathered_arrays() {
+        let with = snapshot(vec![0, 4], 4);
+        let mut without = snapshot(vec![0, 4], 4);
+        without.payloads_gathered = false;
+        assert_eq!(
+            with.memory_bytes() - without.memory_bytes(),
+            4 * std::mem::size_of::<u64>()
+        );
     }
 
     #[test]

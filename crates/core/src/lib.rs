@@ -42,7 +42,7 @@ pub use agent::{
 };
 pub use behavior::{clone_behavior_box, new_behavior_box, Behavior, BehaviorBox, BehaviorControl};
 pub use builder::SimulationBuilder;
-pub use context::{AgentContext, ExecutionContext, NeighborData, Snapshot};
+pub use context::{AgentContext, ExecutionContext, Neighbor, NeighborAccess, Snapshot};
 pub use force::InteractionForce;
 pub use param::{OptLevel, Param};
 pub use resource_manager::{CommitStats, ResourceManager, StaticFlags};

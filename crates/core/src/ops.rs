@@ -90,14 +90,15 @@ pub(crate) fn run_mechanics(
     cfg: &MechanicsConfig,
     neighbor_scratch: &mut Vec<u32>,
 ) -> bool {
-    let snap = ctx.snapshot.data[global];
+    let snap_position = ctx.snapshot.positions[global];
+    let snap_diameter = ctx.snapshot.diameters[global];
     let pos_now = agent.position();
     let diameter_now = agent.diameter();
     // Condition (ii): attribute changes that could increase the force —
     // growth or behavior-driven movement since the snapshot was taken.
-    let behavior_changed = pos_now.distance_sq(&snap.position)
+    let behavior_changed = pos_now.distance_sq(&snap_position)
         > cfg.static_threshold * cfg.static_threshold
-        || diameter_now > snap.diameter + 1e-12;
+        || diameter_now > snap_diameter + 1e-12;
     // Condition (iii): new agents announce their presence to their
     // neighborhood on their first mechanics pass.
     let is_first_pass = flags.created_iter > 0 && flags.created_iter + 1 == ctx.iteration;
@@ -118,10 +119,12 @@ pub(crate) fn run_mechanics(
     let mut nonzero_forces = 0u32;
     neighbor_scratch.clear();
     let collect_neighbors = cfg.detect_static;
+    // The force reads the neighbor position the index streamed (free) plus
+    // one lazy diameter load per accepted neighbor — never the payload.
     ctx.for_each_neighbor(pos_now, cfg.search_radius, |idx, nd, _d2| {
         let f = cfg
             .force
-            .sphere_sphere(pos_now, diameter_now, nd.position, nd.diameter);
+            .sphere_sphere(pos_now, diameter_now, nd.position(), nd.diameter());
         if f != Real3::ZERO {
             nonzero_forces += 1;
             total_force += f;

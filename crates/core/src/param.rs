@@ -14,6 +14,8 @@
 use bdm_env::EnvironmentKind;
 use bdm_sfc::CurveKind;
 
+use crate::context::NeighborAccess;
+
 /// All tunables of the simulation engine.
 #[derive(Debug, Clone)]
 pub struct Param {
@@ -66,6 +68,15 @@ pub struct Param {
     /// Memory-block growth factor of the pool allocator
     /// (`mem_mgr_growth_rate`).
     pub mem_mgr_growth_rate: f64,
+    /// Union of the [`NeighborAccess`] declarations of the model's behavior
+    /// kernels — which per-neighbor snapshot arrays they read. The engine
+    /// adds the interaction force's own access when mechanics is enabled,
+    /// plus every due custom operation's
+    /// [`Operation::neighbor_access`](crate::scheduler::Operation::neighbor_access);
+    /// when the union excludes [`NeighborAccess::PAYLOADS`], the snapshot
+    /// gather skips the payload array entirely. Defaults to the conservative
+    /// [`NeighborAccess::ALL`].
+    pub neighbor_access: NeighborAccess,
 }
 
 impl Default for Param {
@@ -89,6 +100,7 @@ impl Default for Param {
             numa_domains: None,
             iteration_block_size: 1000,
             mem_mgr_growth_rate: 2.0,
+            neighbor_access: NeighborAccess::ALL,
         }
     }
 }

@@ -30,7 +30,7 @@ use bdm_util::{Real3, TimeBuckets};
 use crate::agent::{new_agent_box, Agent, AgentHandle, AgentUid};
 use crate::builder::SimulationBuilder;
 use crate::context::{
-    agent_rng, AgentContext, ExecutionContext, NeighborData, Snapshot, SnapshotCloud,
+    agent_rng, AgentContext, ExecutionContext, NeighborAccess, Snapshot, SnapshotCloud,
 };
 use crate::force::InteractionForce;
 use crate::ops::{run_behaviors, run_mechanics, MechanicsConfig, ViolationTable};
@@ -96,6 +96,13 @@ pub struct Simulation {
     /// by `step`); `environment_update` forwards it as the index's
     /// [`UpdateHint`].
     step_box_lists: bool,
+    /// Union of the snapshot arrays the kernels due this iteration read
+    /// (aggregated by `step` from [`Param::neighbor_access`], the
+    /// interaction force, and every due operation's
+    /// [`Operation::neighbor_access`](crate::scheduler::Operation::neighbor_access));
+    /// the `snapshot` operation skips gathering the payload array when the
+    /// union excludes [`NeighborAccess::PAYLOADS`].
+    step_access: NeighborAccess,
     /// Iteration whose agents the snapshot was gathered over; lets
     /// `environment_update` reuse the snapshot's contiguous positions (and
     /// bounds) instead of re-reading every agent through two virtual calls.
@@ -159,6 +166,7 @@ impl Simulation {
             step_radius: 0.0,
             step_commit: CommitStats::default(),
             step_box_lists: false,
+            step_access: NeighborAccess::ALL,
             snapshot_iteration: 0,
             snapshot_generation: 0,
         }
@@ -338,6 +346,24 @@ impl Simulation {
         self.env.memory_bytes()
     }
 
+    /// The per-iteration snapshot gathered by the `snapshot` operation —
+    /// SoA arrays of every agent's position/diameter/payload at the start
+    /// of the current iteration (see [`Snapshot`]). A custom operation
+    /// reading `payloads` must declare
+    /// [`NeighborAccess::PAYLOADS`](crate::NeighborAccess) via
+    /// [`Operation::neighbor_access`](crate::scheduler::Operation::neighbor_access),
+    /// otherwise the array is skipped ([`Snapshot::payloads_gathered`]).
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Heap bytes of the snapshot arrays the current iteration gathered
+    /// (per-array SoA accounting; the Figure 5/9/11 harness reports this
+    /// instead of assuming a record size).
+    pub fn snapshot_memory_bytes(&self) -> usize {
+        self.snapshot.memory_bytes()
+    }
+
     /// The neighbor-search index of the current iteration (rebuilt by the
     /// `environment_update` operation). Custom operations can downcast via
     /// [`Environment::as_uniform_grid`] for grid-specific reads; an
@@ -381,6 +407,17 @@ impl Simulation {
         // sorting reads the SoA box order — so this is `false` unless a
         // custom operation opts in.)
         self.step_box_lists = Scheduler::due_ops_require_box_lists(&entries, self.iteration);
+        // Scheduler → snapshot capability: which per-neighbor arrays will
+        // anything read before the next gather? The built-in agent kernels
+        // (behaviors + mechanics) declare through Param and the force;
+        // custom operations through Operation::neighbor_access.
+        let agent_kernel_access = if self.param.enable_mechanics {
+            self.param.neighbor_access | self.force.neighbor_access()
+        } else {
+            self.param.neighbor_access
+        };
+        self.step_access =
+            Scheduler::due_ops_neighbor_access(&entries, self.iteration, agent_kernel_access);
         // A consumer can appear between the rebuilds of a re-timed
         // (frequency > 1) environment pipeline — via add_op, set_enabled,
         // or a frequency change — in which case the build it would read
@@ -441,7 +478,7 @@ impl Simulation {
         };
         let snapshot_fresh = self.snapshot_iteration == self.iteration
             && self.snapshot_generation == self.rm.generation()
-            && self.snapshot.data.len() == n;
+            && self.snapshot.len() == n;
         if snapshot_fresh {
             let hint = UpdateHint {
                 build_box_lists: box_lists,
@@ -538,14 +575,25 @@ impl Simulation {
         }
     }
 
-    /// Builds the per-iteration snapshot (positions, diameters, payloads)
-    /// and the max diameter, reading agents through their pointers.
+    /// Builds the per-iteration snapshot — the SoA arrays (positions,
+    /// diameters, and payloads when this iteration's [`NeighborAccess`]
+    /// reads them) and the max diameter — reading agents through their
+    /// pointers in ONE sweep.
     fn build_snapshot(&mut self) {
         let offsets = self.rm.offsets();
         let total = *offsets.last().unwrap();
+        let gather_payloads = self.step_access.reads_payloads();
         self.snapshot.offsets = offsets;
-        self.snapshot.data.resize(total, NeighborData::default());
         self.snapshot.positions.resize(total, Real3::ZERO);
+        self.snapshot.diameters.resize(total, 0.0);
+        if gather_payloads {
+            self.snapshot.payloads.resize(total, 0);
+        } else {
+            // Payload-skip fast path: nobody due before the next gather
+            // reads payloads, so neither gather nor stream the array.
+            self.snapshot.payloads.clear();
+        }
+        self.snapshot.payloads_gathered = gather_payloads;
         let sizes = self.rm.domain_sizes();
         let max_diameter = std::sync::atomic::AtomicU64::new(0f64.to_bits());
         // Position bounds fold into the same sweep: the environment rebuild
@@ -554,8 +602,9 @@ impl Simulation {
         let bounds =
             std::sync::Mutex::new((Real3::splat(f64::INFINITY), Real3::splat(f64::NEG_INFINITY)));
         {
-            let data_ptr = SendMut::new(self.snapshot.data.as_mut_ptr());
             let pos_ptr = SendMut::new(self.snapshot.positions.as_mut_ptr());
+            let diam_ptr = SendMut::new(self.snapshot.diameters.as_mut_ptr());
+            let payload_ptr = SendMut::new(self.snapshot.payloads.as_mut_ptr());
             let snap_offsets = &self.snapshot.offsets;
             let rm = &self.rm;
             let max_ref = &max_diameter;
@@ -575,15 +624,11 @@ impl Simulation {
                     local_hi = local_hi.max(&position);
                     // SAFETY: global slot base+i written exactly once.
                     unsafe {
-                        data_ptr.write(
-                            base + i,
-                            NeighborData {
-                                position,
-                                diameter: d,
-                                payload: agent.payload(),
-                            },
-                        );
                         pos_ptr.write(base + i, position);
+                        diam_ptr.write(base + i, d);
+                        if gather_payloads {
+                            payload_ptr.write(base + i, agent.payload());
+                        }
                     }
                 }
                 // Atomic f64 max via CAS on the bit pattern.

@@ -1,0 +1,55 @@
+//! Property tests for the snapshot's global↔(domain, local) index mapping.
+//!
+//! `Snapshot::global_index` / `Snapshot::split_index` translate between the
+//! environment's flat agent indices and the resource manager's per-domain
+//! storage; every consumer of a neighbor query result depends on the two
+//! being exact inverses, for any domain-size distribution including empty
+//! domains at either end or in the middle.
+
+use bdm_core::Snapshot;
+use proptest::prelude::*;
+
+/// Builds a snapshot whose offset table encodes the given domain sizes
+/// (the arrays themselves are irrelevant to the index mapping).
+fn snapshot_with_sizes(sizes: &[usize]) -> Snapshot {
+    let mut offsets = Vec::with_capacity(sizes.len() + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for &s in sizes {
+        acc += s;
+        offsets.push(acc);
+    }
+    Snapshot {
+        offsets,
+        ..Snapshot::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn prop_global_and_split_index_are_inverse(
+        sizes in proptest::collection::vec(0usize..50, 1..6),
+    ) {
+        let snap = snapshot_with_sizes(&sizes);
+        let total: usize = sizes.iter().sum();
+
+        // (domain, local) → global → (domain, local).
+        for (domain, &size) in sizes.iter().enumerate() {
+            for local in 0..size {
+                let global = snap.global_index(domain, local);
+                prop_assert!(global < total);
+                prop_assert_eq!(snap.split_index(global), (domain, local));
+            }
+        }
+
+        // global → (domain, local) → global, with the domain non-empty and
+        // the local index inside it.
+        for global in 0..total {
+            let (domain, local) = snap.split_index(global);
+            prop_assert!(local < sizes[domain]);
+            prop_assert_eq!(snap.global_index(domain, local), global);
+        }
+    }
+}

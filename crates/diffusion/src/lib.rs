@@ -13,6 +13,8 @@
 //! The explicit scheme is stable for dt ≤ h²/(6D); [`DiffusionGrid::step`]
 //! automatically substeps to respect the bound.
 
+#![warn(missing_docs)]
+
 use bdm_util::Real3;
 use rayon::prelude::*;
 
@@ -39,6 +41,12 @@ pub struct DiffusionGrid {
     min: Real3,
     edge: f64,
     box_length: f64,
+    /// Cached `1 / box_length`: agents look up their box once per
+    /// concentration/gradient read and once per applied secretion, so the
+    /// per-axis position scaling multiplies instead of dividing (three
+    /// dependent divisions per call dominate the lookup otherwise — same
+    /// trick as the uniform grid's `inv_box_length`).
+    inv_box_length: f64,
     /// Concentrations, `resolution³` values, x fastest.
     c: Vec<f64>,
     /// Double buffer for the stencil sweep.
@@ -68,6 +76,7 @@ impl DiffusionGrid {
             min,
             edge,
             box_length: edge / resolution as f64,
+            inv_box_length: resolution as f64 / edge,
             c: vec![0.0; n],
             c_next: vec![0.0; n],
         }
@@ -111,7 +120,7 @@ impl DiffusionGrid {
         let r = self.resolution;
         let mut idx = [0usize; 3];
         for a in 0..3 {
-            let rel = (pos[a] - self.min[a]) / self.box_length;
+            let rel = (pos[a] - self.min[a]) * self.inv_box_length;
             idx[a] = (rel.max(0.0) as usize).min(r - 1);
         }
         idx[0] + r * (idx[1] + r * idx[2])

@@ -46,7 +46,7 @@ impl Environment for BruteForceEnvironment {
         exclude: Option<usize>,
         radius: f64,
         _scratch: &mut NeighborQueryScratch,
-        visit: &mut dyn FnMut(usize, f64),
+        visit: &mut dyn FnMut(usize, Real3, f64),
     ) {
         let r2 = radius * radius;
         for (i, p) in self.positions.iter().enumerate() {
@@ -55,7 +55,7 @@ impl Environment for BruteForceEnvironment {
             }
             let d2 = pos.distance_sq(p);
             if d2 <= r2 {
-                visit(i, d2);
+                visit(i, *p, d2);
             }
         }
     }

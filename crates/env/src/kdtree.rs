@@ -118,7 +118,7 @@ impl KdTreeEnvironment {
         r: f64,
         r2: f64,
         stack: &mut Vec<u32>,
-        visit: &mut dyn FnMut(usize, f64),
+        visit: &mut dyn FnMut(usize, Real3, f64),
     ) {
         stack.clear();
         stack.push(root);
@@ -130,9 +130,10 @@ impl KdTreeEnvironment {
                         if Some(idx) == exclude {
                             continue;
                         }
-                        let d2 = pos.distance_sq(&self.positions[idx]);
+                        let p = self.positions[idx];
+                        let d2 = pos.distance_sq(&p);
                         if d2 <= r2 {
-                            visit(idx, d2);
+                            visit(idx, p, d2);
                         }
                     }
                 }
@@ -197,7 +198,7 @@ impl Environment for KdTreeEnvironment {
         exclude: Option<usize>,
         radius: f64,
         scratch: &mut NeighborQueryScratch,
-        visit: &mut dyn FnMut(usize, f64),
+        visit: &mut dyn FnMut(usize, Real3, f64),
     ) {
         if let Some(root) = self.root {
             self.search(

@@ -199,7 +199,10 @@ pub trait Environment: Send + Sync {
 
     /// Visits every point within `radius` of `pos` (`radius` must not exceed
     /// the `interaction_radius` the index was built with). `exclude` skips
-    /// the querying agent itself. The callback receives `(index, distance²)`.
+    /// the querying agent itself. The callback receives
+    /// `(index, position, distance²)` — the index streams the accepted
+    /// neighbor's position it already loaded for the distance test, so
+    /// consumers never pay a second (random-access) position load.
     ///
     /// `cloud` must be the point cloud the index was built over: the index
     /// stores agent *indices*, and implementations may either re-read
@@ -217,7 +220,7 @@ pub trait Environment: Send + Sync {
         exclude: Option<usize>,
         radius: f64,
         scratch: &mut NeighborQueryScratch,
-        visit: &mut dyn FnMut(usize, f64),
+        visit: &mut dyn FnMut(usize, Real3, f64),
     );
 
     /// Drops the index contents.
@@ -257,7 +260,7 @@ pub fn neighbors_of(
         exclude,
         radius,
         &mut scratch,
-        &mut |idx, _d2| out.push(idx),
+        &mut |idx, _pos, _d2| out.push(idx),
     );
     out.sort_unstable();
     out

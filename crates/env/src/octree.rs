@@ -141,7 +141,7 @@ impl OctreeEnvironment {
         exclude: Option<usize>,
         r2: f64,
         stack: &mut Vec<u32>,
-        visit: &mut dyn FnMut(usize, f64),
+        visit: &mut dyn FnMut(usize, Real3, f64),
     ) {
         stack.clear();
         stack.push(root);
@@ -153,9 +153,10 @@ impl OctreeEnvironment {
                         if Some(idx) == exclude {
                             continue;
                         }
-                        let d2 = pos.distance_sq(&self.positions[idx]);
+                        let p = self.positions[idx];
+                        let d2 = pos.distance_sq(&p);
                         if d2 <= r2 {
-                            visit(idx, d2);
+                            visit(idx, p, d2);
                         }
                     }
                 }
@@ -231,7 +232,7 @@ impl Environment for OctreeEnvironment {
         exclude: Option<usize>,
         radius: f64,
         scratch: &mut NeighborQueryScratch,
-        visit: &mut dyn FnMut(usize, f64),
+        visit: &mut dyn FnMut(usize, Real3, f64),
     ) {
         if let Some(root) = self.root {
             self.search(

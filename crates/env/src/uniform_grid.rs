@@ -117,9 +117,9 @@ fn unpack(word: u64) -> (u32, u32) {
 ///     Some(0), // exclude the querying point itself
 ///     2.0,
 ///     &mut scratch,
-///     &mut |idx, d2| hits.push((idx, d2)),
+///     &mut |idx, pos, d2| hits.push((idx, pos, d2)),
 /// );
-/// assert_eq!(hits, vec![(1, 1.0)]);
+/// assert_eq!(hits, vec![(1, Real3::new(1.0, 0.0, 0.0), 1.0)]);
 /// ```
 pub struct UniformGridEnvironment {
     /// Packed `(timestamp, head)` per box. Grown (and written) only on
@@ -162,6 +162,13 @@ pub struct UniformGridEnvironment {
     /// (scratch, reused). After the merge each entry is the exact scatter
     /// cursor of its `(chunk, box)` pair.
     count_scratch: Vec<u32>,
+    /// One bit per box, set iff the box holds at least one agent in the
+    /// current SoA build. At ~0.3 agents/box (typical 10⁶-agent models) a
+    /// large fraction of the stencil's nine runs is empty; testing three
+    /// bits in this 1-bit/box table (~0.4 MB at 3.4M boxes — cache-resident
+    /// where the 4-byte/box `cell_offsets` table is not) skips the offset
+    /// loads for those runs entirely. Only valid while `soa_active`.
+    occupancy: Vec<u64>,
     /// Whether the SoA cache matches the current build (dense clouds only;
     /// see [`SOA_MAX_BOXES_PER_POINT`]).
     soa_active: bool,
@@ -194,6 +201,7 @@ impl UniformGridEnvironment {
             sorted_indices: Vec::new(),
             agent_boxes: Vec::new(),
             count_scratch: Vec::new(),
+            occupancy: Vec::new(),
             soa_active: false,
             lists_active: false,
         }
@@ -321,6 +329,107 @@ impl UniformGridEnvironment {
         &self.sorted_indices[self.cell_offsets[flat] as usize..self.cell_offsets[flat + 1] as usize]
     }
 
+    /// Monomorphized SoA fast-path query: identical semantics to
+    /// [`Environment::for_each_neighbor`] but generic over the visitor, so
+    /// the per-candidate distance test and the per-neighbor callback inline
+    /// into one loop — no virtual dispatch anywhere on the hot path. The
+    /// engine's per-agent neighbor queries (the dominant cost at 10⁶+
+    /// agents, paper Fig. 5) call this directly after downcasting via
+    /// [`Environment::as_uniform_grid`].
+    ///
+    /// Returns `false` without visiting anything when the last update did
+    /// not build the SoA cache (sparse clouds) — the caller then falls back
+    /// to the trait-object path, which serves from the linked lists.
+    #[inline]
+    pub fn for_each_neighbor_soa<F: FnMut(usize, Real3, f64)>(
+        &self,
+        pos: Real3,
+        exclude: Option<usize>,
+        radius: f64,
+        mut visit: F,
+    ) -> bool {
+        if self.num_points == 0 || self.dims[0] == 0 {
+            // Nothing to visit; the query is served either way.
+            return true;
+        }
+        if !self.soa_active {
+            return false;
+        }
+        assert!(
+            radius <= self.box_length * (1.0 + 1e-12),
+            "query radius {radius} exceeds the radius the uniform grid was built with ({}); \
+             set Param::interaction_radius to the largest query radius of the model",
+            self.box_length
+        );
+        let r2 = radius * radius;
+        let bc = self.box_coordinates(pos);
+        // Nine contiguous runs (see the module docs): boxes adjacent in x
+        // are adjacent in flat index and in the sorted arrays.
+        let x0 = bc[0].saturating_sub(1) as usize;
+        let x1 = (bc[0] + 1).min(self.dims[0] - 1) as usize;
+        let stride_y = self.dims[0] as usize;
+        let stride_z = stride_y * self.dims[1] as usize;
+        debug_assert_eq!(
+            self.cell_offsets.len(),
+            stride_z * self.dims[2] as usize + 1
+        );
+        debug_assert_eq!(
+            *self.cell_offsets.last().unwrap() as usize,
+            self.sorted_positions.len()
+        );
+        for dz in -1i64..=1 {
+            let z = bc[2] as i64 + dz;
+            if z < 0 || z >= self.dims[2] as i64 {
+                continue;
+            }
+            let z_base = z as usize * stride_z;
+            for dy in -1i64..=1 {
+                let y = bc[1] as i64 + dy;
+                if y < 0 || y >= self.dims[1] as i64 {
+                    continue;
+                }
+                let row = z_base + y as usize * stride_y;
+                // SAFETY: `row + x` indexes a valid box (x ≤ dims[0]-1,
+                // y < dims[1], z < dims[2] checked above), `occupancy` has
+                // ⌈nboxes/64⌉ words, and `cell_offsets` has nboxes+1
+                // entries; every offset is ≤ n = sorted_*.len() by the
+                // prefix-sum build invariant (debug-asserted above).
+                unsafe {
+                    // Empty-run skip: test the run's ≤3 occupancy bits in
+                    // the compact bitmap before touching the 4-byte/box
+                    // offset table (the common case at sparse occupancy).
+                    let (b0, b1) = (row + x0, row + x1);
+                    let (w0, w1) = (b0 >> 6, b1 >> 6);
+                    let lo = !0u64 << (b0 & 63);
+                    let hi = !0u64 >> (63 - (b1 & 63));
+                    let occupied = if w0 == w1 {
+                        *self.occupancy.get_unchecked(w0) & lo & hi != 0
+                    } else {
+                        (*self.occupancy.get_unchecked(w0) & lo)
+                            | (*self.occupancy.get_unchecked(w1) & hi)
+                            != 0
+                    };
+                    if !occupied {
+                        continue;
+                    }
+                    let start = *self.cell_offsets.get_unchecked(row + x0) as usize;
+                    let end = *self.cell_offsets.get_unchecked(row + x1 + 1) as usize;
+                    for slot in start..end {
+                        let p = *self.sorted_positions.get_unchecked(slot);
+                        let d2 = pos.distance_sq(&p);
+                        if d2 <= r2 {
+                            let idx = *self.sorted_indices.get_unchecked(slot) as usize;
+                            if Some(idx) != exclude {
+                                visit(idx, p, d2);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
     /// Number of chunk-private count rows for the fused counting pass.
     /// `BDM_GRID_COUNT_CHUNKS` overrides the thread-count heuristic (tuning
     /// knob; also lets tests exercise the multi-chunk merge on any machine),
@@ -408,6 +517,36 @@ impl UniformGridEnvironment {
             }
         } else {
             (0..nboxes).into_par_iter().for_each(cursor_box);
+        }
+    }
+
+    /// Derives the per-box occupancy bitmap from the finished
+    /// `cell_offsets` table (box `b` is occupied iff its offset range is
+    /// non-empty). O(#boxes / 64) words, parallel above the threshold.
+    fn build_occupancy(&mut self, nboxes: usize) {
+        let words = nboxes.div_ceil(64);
+        self.occupancy.clear();
+        self.occupancy.resize(words, 0);
+        let offsets = &self.cell_offsets;
+        let word_of = |w: usize| -> u64 {
+            let mut bits = 0u64;
+            let base = w * 64;
+            let end = 64.min(nboxes - base);
+            for b in 0..end {
+                bits |= u64::from(offsets[base + b] != offsets[base + b + 1]) << b;
+            }
+            bits
+        };
+        if words < PARALLEL_BUILD_THRESHOLD {
+            for w in 0..words {
+                self.occupancy[w] = word_of(w);
+            }
+        } else {
+            let occ_ptr = SendMut::new(self.occupancy.as_mut_ptr());
+            (0..words).into_par_iter().for_each(|w| {
+                // SAFETY: each word is written by exactly one task.
+                unsafe { occ_ptr.write(w, word_of(w)) };
+            });
         }
     }
 
@@ -694,6 +833,7 @@ impl Environment for UniformGridEnvironment {
 
         if build_cache {
             self.merge_counts(chunks, nboxes, n);
+            self.build_occupancy(nboxes);
             self.scatter_soa(positions, n, nboxes, chunks);
             self.soa_active = true;
         }
@@ -707,9 +847,13 @@ impl Environment for UniformGridEnvironment {
         exclude: Option<usize>,
         radius: f64,
         _scratch: &mut NeighborQueryScratch,
-        visit: &mut dyn FnMut(usize, f64),
+        visit: &mut dyn FnMut(usize, Real3, f64),
     ) {
-        if self.num_points == 0 || self.dims[0] == 0 {
+        // SoA fast path: the nine contiguous runs, via the monomorphized
+        // implementation (here instantiated with the trait's dyn visitor;
+        // the engine's per-agent queries instantiate it with the concrete
+        // kernel closure instead and skip this virtual call entirely).
+        if self.for_each_neighbor_soa(pos, exclude, radius, &mut *visit) {
             return;
         }
         // A 3×3×3 box walk only covers queries up to the build radius;
@@ -724,45 +868,6 @@ impl Environment for UniformGridEnvironment {
         );
         let r2 = radius * radius;
         let bc = self.box_coordinates(pos);
-
-        if self.soa_active {
-            // SoA fast path. Boxes adjacent in x are adjacent both in flat
-            // index and in the sorted arrays, so each (y, z) row of the
-            // stencil is ONE contiguous run: the 3×3×3 cube collapses into
-            // at most nine linear scans over `sorted_positions`. The
-            // precomputed strides below are the per-update box-offset
-            // table: `flat = x + dim_x * (y + dim_y * z)`.
-            let x0 = bc[0].saturating_sub(1) as usize;
-            let x1 = (bc[0] + 1).min(self.dims[0] - 1) as usize;
-            let stride_y = self.dims[0] as usize;
-            let stride_z = stride_y * self.dims[1] as usize;
-            for dz in -1i64..=1 {
-                let z = bc[2] as i64 + dz;
-                if z < 0 || z >= self.dims[2] as i64 {
-                    continue;
-                }
-                let z_base = z as usize * stride_z;
-                for dy in -1i64..=1 {
-                    let y = bc[1] as i64 + dy;
-                    if y < 0 || y >= self.dims[1] as i64 {
-                        continue;
-                    }
-                    let row = z_base + y as usize * stride_y;
-                    let start = self.cell_offsets[row + x0] as usize;
-                    let end = self.cell_offsets[row + x1 + 1] as usize;
-                    for slot in start..end {
-                        let d2 = pos.distance_sq(&self.sorted_positions[slot]);
-                        if d2 <= r2 {
-                            let idx = self.sorted_indices[slot] as usize;
-                            if Some(idx) != exclude {
-                                visit(idx, d2);
-                            }
-                        }
-                    }
-                }
-            }
-            return;
-        }
 
         // Fallback (sparse clouds): 3×3×3 cube of boxes around the query
         // box, chasing the per-box linked list (always built when the SoA
@@ -789,9 +894,10 @@ impl Environment for UniformGridEnvironment {
                         let idx = i as usize;
                         if Some(idx) != exclude {
                             debug_assert!(idx < self.num_points);
-                            let d2 = pos.distance_sq(&cloud.position(idx));
+                            let p = cloud.position(idx);
+                            let d2 = pos.distance_sq(&p);
                             if d2 <= r2 {
-                                visit(idx, d2);
+                                visit(idx, p, d2);
                             }
                         }
                         cur = self.successor(i);
@@ -812,6 +918,7 @@ impl Environment for UniformGridEnvironment {
         self.sorted_indices.clear();
         self.agent_boxes.clear();
         self.count_scratch.clear();
+        self.occupancy.clear();
         self.soa_active = false;
         self.lists_active = false;
     }
@@ -830,7 +937,8 @@ impl Environment for UniformGridEnvironment {
                 + self.sorted_positions.capacity() * std::mem::size_of::<Real3>()
                 + self.sorted_indices.capacity() * std::mem::size_of::<u32>()
                 + self.agent_boxes.capacity() * std::mem::size_of::<u32>()
-                + self.count_scratch.capacity() * std::mem::size_of::<u32>();
+                + self.count_scratch.capacity() * std::mem::size_of::<u32>()
+                + self.occupancy.capacity() * std::mem::size_of::<u64>();
         }
         bytes
     }

@@ -59,12 +59,19 @@ impl BenchmarkModel for CellSorting {
 
     fn build(&self, param: Param) -> Simulation {
         // Repulsion keeps cells apart; adhesion is type-specific (below).
+        let adhesion = TypeAdhesion {
+            radius: self.adhesion_radius,
+            speed: self.adhesion_speed,
+        };
         let mut sim = Simulation::builder()
             .with_param(param)
             .time_step(1.0)
             .mechanics(true)
             .interaction_radius(self.adhesion_radius)
             .force(InteractionForce::repulsive_only())
+            // Kernel declaration: adhesion reads same-type (payload)
+            // neighbor positions, so the payload gather stays on.
+            .neighbor_access(bdm_core::Behavior::neighbor_access(&adhesion))
             .build();
         let extent = self.extent();
         let mut rng = bdm_core::SimRng::new(sim.param().seed ^ 0x5027);
@@ -75,10 +82,7 @@ impl BenchmarkModel for CellSorting {
                 .with_diameter(10.0)
                 .with_cell_type((i % 2) as u64);
             cell.base_mut().add_behavior(new_behavior_box(
-                TypeAdhesion {
-                    radius: self.adhesion_radius,
-                    speed: self.adhesion_speed,
-                },
+                adhesion.clone(),
                 sim.memory_manager(),
                 0,
             ));

@@ -6,8 +6,8 @@ use std::any::Any;
 
 use bdm_core::{
     clone_agent_box, clone_behavior_box, new_behavior_box, Agent, AgentBase, AgentBox,
-    AgentContext, AgentUid, Behavior, BehaviorBox, BehaviorControl, CloneIn, MemoryManager, Param,
-    Simulation,
+    AgentContext, AgentUid, Behavior, BehaviorBox, BehaviorControl, CloneIn, MemoryManager,
+    NeighborAccess, Param, Simulation,
 };
 
 use crate::behaviors::RandomWalk;
@@ -128,7 +128,7 @@ impl Behavior for Infection {
             SirState::Susceptible => {
                 let pos = person.position();
                 let infected_near = ctx.count_neighbors(pos, self.radius, |nd| {
-                    nd.payload == SirState::Infected.payload()
+                    nd.payload() == SirState::Infected.payload()
                 });
                 if infected_near > 0 && ctx.rng.chance(self.transmission_probability) {
                     person.state = SirState::Infected;
@@ -143,6 +143,10 @@ impl Behavior for Infection {
             SirState::Recovered => {}
         }
         BehaviorControl::Keep
+    }
+    fn neighbor_access(&self) -> NeighborAccess {
+        // Transmission tests the infection state (payload) of neighbors.
+        NeighborAccess::POSITIONS.union(NeighborAccess::PAYLOADS)
     }
     fn clone_behavior(&self, mm: &MemoryManager, domain: usize) -> BehaviorBox {
         clone_behavior_box(self, mm, domain)
@@ -212,6 +216,19 @@ impl BenchmarkModel for Epidemiology {
         param.simulation_time_step = 1.0;
         param.enable_mechanics = false;
         param.interaction_radius = Some(self.infection_radius);
+        let walk = RandomWalk {
+            step: self.walk_step,
+            min: 0.0,
+            max: 0.0, // confinement bound set per instance below
+        };
+        let infection = Infection {
+            radius: self.infection_radius,
+            transmission_probability: self.transmission_probability,
+            recovery_iterations: self.recovery_iterations,
+        };
+        // Kernel declaration: infection reads neighbor payloads (SIR
+        // state), so the payload gather stays on even without mechanics.
+        param.neighbor_access = walk.neighbor_access().union(infection.neighbor_access());
         let mut sim = Simulation::new(param);
         let extent = self.extent();
         let mut rng = bdm_core::SimRng::new(sim.param().seed ^ 0xe41d);
@@ -229,22 +246,15 @@ impl BenchmarkModel for Epidemiology {
             let mm = sim.memory_manager();
             person.base_mut().add_behavior(new_behavior_box(
                 RandomWalk {
-                    step: self.walk_step,
-                    min: 0.0,
                     max: extent,
+                    ..walk.clone()
                 },
                 mm,
                 0,
             ));
-            person.base_mut().add_behavior(new_behavior_box(
-                Infection {
-                    radius: self.infection_radius,
-                    transmission_probability: self.transmission_probability,
-                    recovery_iterations: self.recovery_iterations,
-                },
-                mm,
-                0,
-            ));
+            person
+                .base_mut()
+                .add_behavior(new_behavior_box(infection.clone(), mm, 0));
             sim.add_agent(person);
         }
         sim

@@ -13,6 +13,8 @@
 //! are recorded in the characteristics, while defaults are sized for a
 //! laptop-class machine.
 
+#![warn(missing_docs)]
+
 pub mod behaviors;
 pub mod cell_sorting;
 pub mod characteristics;

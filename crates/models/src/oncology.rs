@@ -5,7 +5,7 @@
 
 use bdm_core::{
     clone_behavior_box, new_behavior_box, Agent, AgentContext, Behavior, BehaviorBox,
-    BehaviorControl, Cell, MemoryManager, Param, Real3, Simulation,
+    BehaviorControl, Cell, MemoryManager, NeighborAccess, Param, Real3, Simulation,
 };
 
 use crate::characteristics::Characteristics;
@@ -48,6 +48,10 @@ impl Behavior for TumorGrowth {
             }
         }
         BehaviorControl::Keep
+    }
+    fn neighbor_access(&self) -> NeighborAccess {
+        // Crowding counts neighbors by distance only — no field reads.
+        NeighborAccess::POSITIONS
     }
     fn clone_behavior(&self, mm: &MemoryManager, domain: usize) -> BehaviorBox {
         clone_behavior_box(self, mm, domain)
@@ -106,6 +110,14 @@ impl BenchmarkModel for Oncology {
         // The crowding query (15 µm) exceeds the largest cell diameter, so
         // the neighbor index must be built for it explicitly.
         param.interaction_radius = Some(15.0);
+        let growth = TumorGrowth {
+            crowding_radius: 15.0,
+            crowding_limit: 12,
+            death_probability: self.death_probability,
+        };
+        // Kernel declaration: crowding counts by distance only; the engine
+        // adds the collision force's positions+diameters itself.
+        param.neighbor_access = growth.neighbor_access();
         let mut sim = Simulation::new(param);
         let r = self.ball_radius();
         let center = Real3::splat(r * 1.5);
@@ -121,15 +133,8 @@ impl BenchmarkModel for Oncology {
                 .with_diameter(9.0 + rng.uniform_in(0.0, 2.0))
                 .with_growth_rate(40.0)
                 .with_division_threshold(14.0);
-            cell.base_mut().add_behavior(new_behavior_box(
-                TumorGrowth {
-                    crowding_radius: 15.0,
-                    crowding_limit: 12,
-                    death_probability: self.death_probability,
-                },
-                sim.memory_manager(),
-                0,
-            ));
+            cell.base_mut()
+                .add_behavior(new_behavior_box(growth.clone(), sim.memory_manager(), 0));
             sim.add_agent(cell);
         }
         sim

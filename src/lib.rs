@@ -86,8 +86,9 @@ pub mod prelude {
         clone_agent_box, clone_behavior_box, new_agent_box, new_behavior_box, Agent, AgentBase,
         AgentBox, AgentContext, AgentHandle, AgentUid, Behavior, BehaviorBox, BehaviorControl,
         BoundaryCondition, Cell, CloneIn, CurveKind, DiffusionGrid, EnvironmentKind,
-        InteractionForce, MemoryManager, OpInfo, OpKind, Operation, OptLevel, Param, Real3,
-        Scheduler, SimRng, SimStats, Simulation, SimulationBuilder, SimulationCtx,
+        InteractionForce, MemoryManager, Neighbor, NeighborAccess, OpInfo, OpKind, Operation,
+        OptLevel, Param, Real3, Scheduler, SimRng, SimStats, Simulation, SimulationBuilder,
+        SimulationCtx, Snapshot,
     };
     pub use bdm_models::BenchmarkModel;
 }

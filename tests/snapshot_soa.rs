@@ -1,0 +1,195 @@
+//! Integration: the SoA snapshot (ISSUE 5 tentpole).
+//!
+//! The per-iteration snapshot is a structure of arrays gathered in one
+//! sweep; these tests pin (i) bitwise equivalence between the SoA arrays
+//! and an agent-by-agent AoS reference on all six benchmark models,
+//! (ii) that the payload-skip fast path neither changes results nor runs
+//! when a kernel declared `NeighborAccess::PAYLOADS`, and (iii) that a
+//! custom `Operation` can keep the payload gather alive by declaring its
+//! access.
+
+use std::collections::BTreeMap;
+
+use biodynamo::models::{all_models, BenchmarkModel};
+use biodynamo::prelude::*;
+
+fn param() -> Param {
+    Param {
+        threads: Some(2),
+        numa_domains: Some(2),
+        seed: 4357,
+        ..Param::default()
+    }
+}
+
+/// A pipeline stage that declares it reads neighbor payloads (forcing the
+/// gather) without touching the simulation.
+struct PayloadProbe;
+
+impl Operation for PayloadProbe {
+    fn name(&self) -> &str {
+        "payload_probe"
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Standalone
+    }
+    fn neighbor_access(&self) -> NeighborAccess {
+        NeighborAccess::PAYLOADS
+    }
+    fn run(&mut self, _ctx: &mut SimulationCtx<'_>) {}
+}
+
+/// AoS reference: every agent's (position, diameter, payload) in resource
+/// manager order — exactly the order the snapshot gather uses.
+fn aos_reference(sim: &Simulation) -> Vec<(Real3, f64, u64)> {
+    let mut out = Vec::with_capacity(sim.num_agents());
+    sim.for_each_agent(|_, a| out.push((a.position(), a.diameter(), a.payload())));
+    out
+}
+
+#[test]
+fn soa_snapshot_matches_aos_reference_on_all_models() {
+    for model in all_models(150) {
+        let mut sim = model.build(param());
+        // Force the payload gather so all three arrays can be compared,
+        // regardless of the model's own declaration.
+        sim.scheduler_mut().add_op(PayloadProbe);
+        let reference = aos_reference(&sim);
+        // The snapshot of iteration 1 is gathered from exactly the pre-step
+        // agent state collected above.
+        sim.simulate(1);
+        let snap = sim.snapshot();
+        assert_eq!(snap.len(), reference.len(), "{}", model.name());
+        assert!(snap.payloads_gathered, "{}", model.name());
+        assert_eq!(snap.payloads.len(), reference.len(), "{}", model.name());
+        let mut max_diameter = 0f64;
+        for (i, (pos, diameter, payload)) in reference.iter().enumerate() {
+            // Bitwise: the gather copies, it must not recompute.
+            assert_eq!(snap.positions[i], *pos, "{} agent {i}", model.name());
+            assert_eq!(
+                snap.diameters[i].to_bits(),
+                diameter.to_bits(),
+                "{} agent {i}",
+                model.name()
+            );
+            assert_eq!(snap.payloads[i], *payload, "{} agent {i}", model.name());
+            max_diameter = max_diameter.max(*diameter);
+        }
+        assert_eq!(
+            snap.max_diameter.to_bits(),
+            max_diameter.to_bits(),
+            "{}",
+            model.name()
+        );
+        assert_eq!(
+            *snap.offsets.last().unwrap(),
+            reference.len(),
+            "{}",
+            model.name()
+        );
+        assert_eq!(
+            snap.memory_bytes(),
+            snap.len() * (24 + 8 + 8) + snap.offsets.len() * 8
+        );
+    }
+}
+
+#[test]
+fn payload_gather_follows_the_declared_kernel_access() {
+    // Clustering kernels (secretion/chemotaxis + collision force) declare
+    // no payload reads → the gather skips the array entirely.
+    let model = biodynamo::models::CellClustering::new(120);
+    let mut sim = model.build(param());
+    sim.simulate(2);
+    assert!(!sim.snapshot().payloads_gathered);
+    assert!(sim.snapshot().payloads.is_empty());
+
+    // Cell sorting's TypeAdhesion declares PAYLOADS → gathered.
+    let model = biodynamo::models::CellSorting::new(120);
+    let mut sim = model.build(param());
+    sim.simulate(2);
+    assert!(sim.snapshot().payloads_gathered);
+
+    // Epidemiology reads payloads from a behavior with mechanics off.
+    let model = biodynamo::models::Epidemiology::new(120);
+    let mut sim = model.build(param());
+    sim.simulate(2);
+    assert!(sim.snapshot().payloads_gathered);
+}
+
+/// Snapshot of a finished simulation keyed by stable uid (as in
+/// tests/determinism.rs).
+fn state(sim: &Simulation) -> BTreeMap<u64, (Real3, f64, u64)> {
+    let mut map = BTreeMap::new();
+    sim.for_each_agent(|_, a| {
+        map.insert(a.uid().0, (a.position(), a.diameter(), a.payload()));
+    });
+    map
+}
+
+#[test]
+fn payload_skip_is_bit_identical_to_payload_gather() {
+    // The fast path may only change what is gathered, never a result: a
+    // model whose kernels ignore payloads must produce bitwise-identical
+    // states with and without the gather.
+    for threads in [1usize, 2] {
+        let model = biodynamo::models::CellClustering::new(150);
+        let p = || Param {
+            threads: Some(threads),
+            numa_domains: Some(threads),
+            seed: 4357,
+            ..Param::default()
+        };
+        let mut skipped = model.build(p());
+        skipped.simulate(8);
+        assert!(!skipped.snapshot().payloads_gathered);
+
+        let mut gathered = model.build(p());
+        gathered.scheduler_mut().add_op(PayloadProbe);
+        gathered.simulate(8);
+        assert!(gathered.snapshot().payloads_gathered);
+
+        assert_eq!(
+            state(&skipped),
+            state(&gathered),
+            "payload gather must be observation-only ({threads} threads)"
+        );
+    }
+}
+
+#[test]
+fn custom_operation_reads_payloads_it_declared() {
+    // An operation that reads Snapshot::payloads and declares the access:
+    // the array must be there and hold the live agents' payloads.
+    struct SumPayloads {
+        seen: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    }
+    impl Operation for SumPayloads {
+        fn name(&self) -> &str {
+            "sum_payloads"
+        }
+        fn kind(&self) -> OpKind {
+            OpKind::Standalone
+        }
+        fn neighbor_access(&self) -> NeighborAccess {
+            NeighborAccess::PAYLOADS
+        }
+        fn run(&mut self, ctx: &mut SimulationCtx<'_>) {
+            let snap = ctx.sim.snapshot();
+            assert!(snap.payloads_gathered);
+            let sum: u64 = snap.payloads.iter().sum();
+            self.seen.store(sum, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    let seen = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(u64::MAX));
+    // Clustering would skip the gather on its own (see above); the custom
+    // op's declaration must keep it alive.
+    let model = biodynamo::models::CellClustering::new(100);
+    let mut sim = model.build(param());
+    sim.scheduler_mut()
+        .add_op(SumPayloads { seen: seen.clone() });
+    sim.simulate(1);
+    // Types alternate 0/1 → half the agents sum to 50.
+    assert_eq!(seen.load(std::sync::atomic::Ordering::Relaxed), 50);
+}
