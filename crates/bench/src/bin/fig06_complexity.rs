@@ -120,6 +120,17 @@ fn main() {
                         format!("{:.3}", if total > 0.0 { secs / total } else { 0.0 }),
                     ]);
                 }
+                // A synthetic `total` row (sum of all buckets) so the CI
+                // guard can trip on whole-iteration regressions that hide
+                // below every per-phase threshold.
+                phases.row([
+                    name.clone(),
+                    scale_label(agents),
+                    "total".to_string(),
+                    format!("{total:.6}"),
+                    format!("{:.6}", total / iterations as f64),
+                    "1.000".to_string(),
+                ]);
             }
             runtime_points.push((agents as f64, report.per_iter_secs()));
             if report.peak_rss_bytes > 0 {

@@ -20,6 +20,22 @@
 //! a ~25-40µs baseline that means the guard effectively trips at a ≥2-3×
 //! regression — a smoke alarm for algorithmic blowups (e.g. accidental
 //! O(#boxes) work), not a micro-benchmark.
+//!
+//! `--models a,b,c` makes the guard *fail-closed* over that list: each
+//! named model must have a guarded row in both files, so a capture that
+//! silently drops a model (new name, harness bug) trips CI instead of
+//! SKIP-ping. On any failure the guard prints the full baseline-vs-
+//! candidate table at the guarded scale, so the log alone shows which
+//! phases moved — no local repro needed to start diagnosing.
+//!
+//! `--candidate` may be repeated (or given a comma-separated list): the
+//! guard then compares the per-row **minimum** across the captures.
+//! Background load on a shared runner only ever *adds* time — while
+//! calibrating, identical code produced +40% single-model outliers in
+//! two of five back-to-back captures — so the min across N captures is
+//! the honest estimate of the code's speed, and a regression has to
+//! show up in every capture to mean anything. Fail-closed `--models`
+//! rows must be present in **each** candidate file.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -51,13 +67,69 @@ fn load_phases(path: &str) -> HashMap<(String, String, String), f64> {
     rows
 }
 
+/// Every phase of both tables at `agents` scale, side by side — printed on
+/// failure so the regression is diagnosable from the CI log.
+fn print_diff_table(
+    baseline: &HashMap<(String, String, String), f64>,
+    candidate: &HashMap<(String, String, String), f64>,
+    agents: &str,
+) {
+    let mut keys: Vec<&(String, String, String)> =
+        baseline.keys().chain(candidate.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    println!("\nbaseline vs candidate at {agents} agents (s/iteration):");
+    println!(
+        "{:<22} {:<20} {:>12} {:>12} {:>8}",
+        "model", "phase", "baseline", "candidate", "delta"
+    );
+    for key in keys {
+        if key.1 != agents {
+            continue;
+        }
+        let base = baseline.get(key);
+        let cand = candidate.get(key);
+        let fmt = |v: Option<&f64>| v.map_or("-".to_string(), |v| format!("{v:.6}"));
+        let delta = match (base, cand) {
+            (Some(&b), Some(&c)) if b > 0.0 => {
+                format!(
+                    "{}{:.0}%",
+                    if c >= b { "+" } else { "" },
+                    (c / b - 1.0) * 100.0
+                )
+            }
+            _ => "-".to_string(),
+        };
+        println!(
+            "{:<22} {:<20} {:>12} {:>12} {:>8}",
+            key.0,
+            key.2,
+            fmt(base),
+            fmt(cand),
+            delta
+        );
+    }
+}
+
+/// Per-row minimum across captures: the best observed run is the closest
+/// measurement to the code's true speed on a machine with background load.
+fn min_merge(
+    into: &mut HashMap<(String, String, String), f64>,
+    from: HashMap<(String, String, String), f64>,
+) {
+    for (key, v) in from {
+        into.entry(key).and_modify(|m| *m = m.min(v)).or_insert(v);
+    }
+}
+
 fn main() -> ExitCode {
     let mut baseline_path = String::new();
-    let mut candidate_path = String::new();
+    let mut candidate_paths: Vec<String> = Vec::new();
     let mut phase = "environment_update".to_string();
     let mut agents = "1e3".to_string();
     let mut threshold = 0.25f64;
     let mut min_seconds = 50e-6f64;
+    let mut required_models: Vec<String> = Vec::new();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -69,29 +141,59 @@ fn main() -> ExitCode {
         };
         match args[i].as_str() {
             "--baseline" => baseline_path = value(i),
-            "--candidate" => candidate_path = value(i),
+            "--candidate" => {
+                candidate_paths.extend(value(i).split(',').map(|p| p.trim().to_string()))
+            }
             "--phase" => phase = value(i),
             "--agents" => agents = value(i),
             "--threshold" => threshold = value(i).parse().expect("--threshold"),
             "--min-seconds" => min_seconds = value(i).parse().expect("--min-seconds"),
+            "--models" => {
+                required_models = value(i).split(',').map(|m| m.trim().to_string()).collect()
+            }
             other => panic!("unknown flag {other}"),
         }
         i += 2;
     }
     assert!(
-        !baseline_path.is_empty() && !candidate_path.is_empty(),
-        "usage: fig06_guard --baseline <csv> --candidate <csv> \
+        !baseline_path.is_empty() && !candidate_paths.is_empty(),
+        "usage: fig06_guard --baseline <csv> --candidate <csv>[,<csv>...] \
          [--phase environment_update] [--agents 1e3] [--threshold 0.25] \
-         [--min-seconds 0.00005]"
+         [--min-seconds 0.00005] [--models a,b,c]"
     );
 
     let baseline = load_phases(&baseline_path);
-    let candidate = load_phases(&candidate_path);
+    let captures: Vec<HashMap<(String, String, String), f64>> =
+        candidate_paths.iter().map(|p| load_phases(p)).collect();
+    let mut candidate = HashMap::new();
+    for capture in &captures {
+        min_merge(&mut candidate, capture.clone());
+    }
 
     let mut checked = 0;
     let mut failed = false;
+    // Fail-closed coverage check: every required model must have the
+    // guarded row in the baseline AND in EACH candidate capture (a
+    // missing row would otherwise SKIP — and with min-merged captures a
+    // row missing from one file must not silently defer to the others).
+    for model in &required_models {
+        let key = (model.clone(), agents.clone(), phase.clone());
+        if !baseline.contains_key(&key) {
+            println!("FAIL  {model}/{agents}/{phase}: required model missing from baseline");
+            failed = true;
+        }
+        for (capture, path) in captures.iter().zip(&candidate_paths) {
+            if !capture.contains_key(&key) {
+                println!("FAIL  {model}/{agents}/{phase}: required model missing from {path}");
+                failed = true;
+            }
+        }
+    }
     for ((model, scale, ph), &base) in &baseline {
         if *ph != phase || *scale != agents {
+            continue;
+        }
+        if !required_models.is_empty() && !required_models.contains(model) {
             continue;
         }
         let Some(&cand) = candidate.get(&(model.clone(), scale.clone(), ph.clone())) else {
@@ -119,7 +221,7 @@ fn main() -> ExitCode {
         }
     }
     assert!(
-        checked > 0,
+        checked > 0 || failed,
         "baseline {baseline_path} has no rows for phase {phase} at {agents} agents"
     );
     if failed {
@@ -127,6 +229,13 @@ fn main() -> ExitCode {
             "phase regression guard FAILED (threshold {:.0}%)",
             threshold * 100.0
         );
+        if captures.len() > 1 {
+            println!(
+                "(candidate columns are the per-row minimum of {} captures)",
+                captures.len()
+            );
+        }
+        print_diff_table(&baseline, &candidate, &agents);
         ExitCode::FAILURE
     } else {
         println!("phase regression guard passed ({checked} rows checked)");

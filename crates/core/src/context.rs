@@ -23,7 +23,7 @@
 
 use bdm_alloc::MemoryManager;
 use bdm_diffusion::DiffusionGrid;
-use bdm_env::{Environment, NeighborQueryScratch, PointCloud};
+use bdm_env::{Environment, NeighborQueryScratch, PointCloud, StencilRuns};
 use bdm_util::{Real3, SimRng};
 
 use crate::agent::{new_agent_box, Agent, AgentBox, AgentHandle, AgentUid};
@@ -199,6 +199,12 @@ impl PointCloud for SnapshotCloud<'_> {
     fn positions_slice(&self) -> Option<&[Real3]> {
         Some(&self.0.positions)
     }
+    fn diameters(&self) -> Option<&[f64]> {
+        // Feeds the uniform grid's conditional diameter scatter: the grid
+        // copies these bitwise next to its box-sorted query slots when the
+        // engine's update hint requests it.
+        Some(&self.0.diameters)
+    }
 }
 
 /// One accepted neighbor, handed to [`AgentContext::for_each_neighbor`]
@@ -277,6 +283,9 @@ pub struct ExecutionContext {
     pub(crate) secretions: Vec<Secretion>,
     /// Mechanics statistics: force calculations executed.
     pub(crate) force_calculations: u64,
+    /// Mechanics statistics: force calculations served by the box-batched
+    /// grid path (vs the scalar per-agent fallback).
+    pub(crate) batched_force_queries: u64,
     /// Mechanics statistics: agents skipped as static (paper Section 5).
     pub(crate) static_skipped: u64,
     /// Reusable neighbor-query scratch: queries issued through this thread's
@@ -285,6 +294,25 @@ pub struct ExecutionContext {
     /// Reusable neighbor-index buffer of the mechanics operation (static
     /// detection collects the neighborhood to wake it on movement).
     pub(crate) mech_neighbors: Vec<u32>,
+    /// One-entry cache of the box-batched mechanics path: the resolved
+    /// stencil runs of the last queried box. All agents resident in one box
+    /// share the same ≤9 runs, and after the Morton sort consecutive agents
+    /// of a worker usually share a box — so most per-agent stencil
+    /// derivations collapse into a three-word compare.
+    pub(crate) mech_stencil: StencilCache,
+}
+
+/// See [`ExecutionContext::mech_stencil`].
+#[derive(Default)]
+pub(crate) struct StencilCache {
+    /// Grid build the cached runs were resolved against
+    /// ([`bdm_env::UniformGridEnvironment::build_count`]; 0 = nothing
+    /// cached, the grid's count starts at 1).
+    build: u64,
+    /// Box coordinates the runs belong to.
+    bc: [u32; 3],
+    /// The resolved runs.
+    runs: StencilRuns,
 }
 
 impl ExecutionContext {
@@ -427,6 +455,83 @@ impl<'a> AgentContext<'a> {
                 )
             },
         );
+    }
+
+    /// Box-batched mechanics neighbor scan — the grid fast path of
+    /// [`AgentContext::for_each_neighbor`] specialized for the force
+    /// kernel. The visitor receives `(index, position, diameter,
+    /// distance²)`:
+    ///
+    /// * the **diameter** streams from the grid's box-sorted scatter (a
+    ///   bitwise copy of `snapshot.diameters[index]`) instead of a random
+    ///   per-neighbor gather;
+    /// * the ≤9 **stencil runs** come from this worker's one-entry cache —
+    ///   every agent resident in the same box reuses the same row offsets
+    ///   ([`ExecutionContext::mech_stencil`]);
+    /// * each run is scanned in a **single bounds-check-free streamed
+    ///   pass** over the interleaved slot array — sequential 32-byte
+    ///   loads, no per-candidate indirection — accepting in slot order,
+    ///   so the accepted sequence is identical to the scalar scan's.
+    ///   (A two-pass chunked variant that pre-computed distances per
+    ///   block measured *slower* than this on the 10⁶ protocol; the
+    ///   accept branch is cheap and the extra pass re-touched the slots.)
+    ///
+    /// Visit order, the accepted set, and every visited value are bitwise
+    /// those of the per-agent path (same shared stencil traversal, copied
+    /// diameters). Returns `false` without visiting anything when the
+    /// batched path cannot serve the query — non-grid environment, sparse
+    /// cloud, diameters not scattered this iteration, or a radius beyond
+    /// the build radius — and the caller falls back to
+    /// [`AgentContext::for_each_neighbor`] plus the lazy diameter load.
+    pub(crate) fn for_each_neighbor_mech(
+        &mut self,
+        pos: Real3,
+        radius: f64,
+        f: &mut impl FnMut(usize, Real3, f64, f64),
+    ) -> bool {
+        let env = self.env;
+        let Some(grid) = env.as_uniform_grid() else {
+            return false;
+        };
+        if !grid.radius_within_build(radius) {
+            return false;
+        }
+        let (Some(slots), Some(diameters)) = (grid.slots(), grid.scattered_diameters()) else {
+            return false;
+        };
+        let bc = grid.box_coordinates(pos);
+        let build = grid.build_count();
+        let cache = &mut self.exec.mech_stencil;
+        if cache.build != build || cache.bc != bc {
+            let Some(runs) = grid.stencil_runs(bc) else {
+                return false;
+            };
+            *cache = StencilCache { build, bc, runs };
+        }
+        let exclude = self.self_global;
+        let r2 = radius * radius;
+        for &(start, end) in cache.runs.runs() {
+            let (start, end) = (start as usize, end as usize);
+            debug_assert!(end <= slots.len() && diameters.len() == slots.len());
+            for i in start..end {
+                // SAFETY: stencil runs are produced by the grid that owns
+                // `slots` for the same build (checked via `build_count`
+                // above), so `start..end` indexes in bounds; `diameters`
+                // is scattered alongside `slots` in the same rebuild pass
+                // and has the same length (debug-asserted above).
+                let s = unsafe { slots.get_unchecked(i) };
+                let d2 = pos.distance_sq(&s.position);
+                if d2 <= r2 {
+                    let idx = s.index as usize;
+                    if idx != exclude {
+                        // SAFETY: same bound as `slots` above.
+                        let diameter = unsafe { *diameters.get_unchecked(i) };
+                        f(idx, s.position, diameter, d2);
+                    }
+                }
+            }
+        }
+        true
     }
 
     /// Counts neighbors within `radius` of `pos` satisfying `pred`.

@@ -59,10 +59,33 @@ impl InteractionForce {
     /// Returns `Real3::ZERO` when the spheres do not touch.
     #[inline]
     pub fn sphere_sphere(&self, pos1: Real3, diameter1: f64, pos2: Real3, diameter2: f64) -> Real3 {
+        self.sphere_sphere_sq(pos1, diameter1, pos2, diameter2, pos1.distance_sq(&pos2))
+    }
+
+    /// [`InteractionForce::sphere_sphere`] for callers that already hold the
+    /// **squared** center distance — every accepted neighbor of a
+    /// fixed-radius query computed it for the distance test, so the force
+    /// kernel reuses it instead of re-deriving `|x₁ − x₂|²` from the
+    /// positions.
+    ///
+    /// **Bitwise identical** to `sphere_sphere` whenever
+    /// `dist_sq == pos1.distance_sq(&pos2)`: `distance_sq` sums the squared
+    /// component deltas in the same order as `(pos1 - pos2).norm_sq()`, so
+    /// the single square root here sees the identical operand (pinned by a
+    /// unit test below).
+    #[inline]
+    pub fn sphere_sphere_sq(
+        &self,
+        pos1: Real3,
+        diameter1: f64,
+        pos2: Real3,
+        diameter2: f64,
+        dist_sq: f64,
+    ) -> Real3 {
         let r1 = 0.5 * diameter1;
         let r2 = 0.5 * diameter2;
         let delta = pos1 - pos2; // points away from the neighbor
-        let center_distance = delta.norm();
+        let center_distance = dist_sq.sqrt();
         let overlap = r1 + r2 - center_distance;
         if overlap <= 0.0 {
             return Real3::ZERO;
@@ -168,6 +191,24 @@ mod tests {
         for dist in [1.0, 5.0, 9.0, 9.99] {
             let force = f.sphere_sphere(Real3::ZERO, 10.0, Real3::new(dist, 0.0, 0.0), 10.0);
             assert!(force.x() <= 0.0, "dist {dist}: {force:?}");
+        }
+    }
+
+    #[test]
+    fn sphere_sphere_sq_is_bitwise_identical() {
+        // The squared-distance entry point must reproduce `sphere_sphere`
+        // bit for bit when fed `distance_sq` — the box-batched mechanics
+        // path depends on this identity for determinism.
+        let mut rng = bdm_util::SimRng::new(7);
+        for _ in 0..1000 {
+            let p1 = rng.point_in_cube(0.0, 20.0);
+            let p2 = p1 + rng.unit_vector() * rng.uniform_in(0.0, 12.0);
+            let (d1, d2) = (rng.uniform_in(1.0, 12.0), rng.uniform_in(1.0, 12.0));
+            let a = F.sphere_sphere(p1, d1, p2, d2);
+            let b = F.sphere_sphere_sq(p1, d1, p2, d2, p1.distance_sq(&p2));
+            for axis in 0..3 {
+                assert_eq!(a[axis].to_bits(), b[axis].to_bits(), "{p1:?} vs {p2:?}");
+            }
         }
     }
 

@@ -41,6 +41,9 @@ pub(crate) struct MechanicsConfig {
     pub detect_static: bool,
     /// Displacements below this are "did not move".
     pub static_threshold: f64,
+    /// Box-batched force accumulation on/off (`Param::box_batched_mechanics`;
+    /// the off position pins the scalar path for parity tests).
+    pub box_batched: bool,
 }
 
 /// Shared view of the per-domain violation flags, addressed by global index.
@@ -119,20 +122,44 @@ pub(crate) fn run_mechanics(
     let mut nonzero_forces = 0u32;
     neighbor_scratch.clear();
     let collect_neighbors = cfg.detect_static;
-    // The force reads the neighbor position the index streamed (free) plus
-    // one lazy diameter load per accepted neighbor — never the payload.
-    ctx.for_each_neighbor(pos_now, cfg.search_radius, |idx, nd, _d2| {
-        let f = cfg
-            .force
-            .sphere_sphere(pos_now, diameter_now, nd.position(), nd.diameter());
-        if f != Real3::ZERO {
-            nonzero_forces += 1;
-            total_force += f;
-        }
-        if collect_neighbors {
-            neighbor_scratch.push(idx as u32);
-        }
-    });
+    // Box-batched fast path: positions AND diameters stream from the
+    // grid's box-sorted arrays, the stencil is resolved once per box, and
+    // each run is one bounds-check-free pass. Bit-identical to the
+    // fallback: same visit order (shared stencil traversal), bitwise-copied
+    // diameters, and `sphere_sphere_sq` fed the query's streamed d² equals
+    // `sphere_sphere` bit for bit (see its docs).
+    let batched = cfg.box_batched
+        && ctx.for_each_neighbor_mech(pos_now, cfg.search_radius, &mut |idx, npos, ndiam, d2| {
+            let f = cfg
+                .force
+                .sphere_sphere_sq(pos_now, diameter_now, npos, ndiam, d2);
+            if f != Real3::ZERO {
+                nonzero_forces += 1;
+                total_force += f;
+            }
+            if collect_neighbors {
+                neighbor_scratch.push(idx as u32);
+            }
+        });
+    if batched {
+        ctx.exec.batched_force_queries += 1;
+    } else {
+        // Fallback (sparse clouds, non-grid environments, unscattered
+        // diameters): the neighbor position the index streamed (free) plus
+        // one lazy diameter load per accepted neighbor — never the payload.
+        ctx.for_each_neighbor(pos_now, cfg.search_radius, |idx, nd, d2| {
+            let f =
+                cfg.force
+                    .sphere_sphere_sq(pos_now, diameter_now, nd.position(), nd.diameter(), d2);
+            if f != Real3::ZERO {
+                nonzero_forces += 1;
+                total_force += f;
+            }
+            if collect_neighbors {
+                neighbor_scratch.push(idx as u32);
+            }
+        });
+    }
     ctx.exec.force_calculations += 1;
 
     // Forces translate into displacement with unit mobility, capped by

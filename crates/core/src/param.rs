@@ -77,6 +77,13 @@ pub struct Param {
     /// gather skips the payload array entirely. Defaults to the conservative
     /// [`NeighborAccess::ALL`].
     pub neighbor_access: NeighborAccess,
+    /// Run the mechanics force accumulation on the box-batched grid path:
+    /// stencil runs resolved once per box, positions and diameters streamed
+    /// from the grid's box-sorted arrays, distance tests in vectorizable
+    /// chunks. Bit-identical to the per-agent path by construction; `false`
+    /// pins the scalar path (parity tests and A/B measurements). On by
+    /// default.
+    pub box_batched_mechanics: bool,
 }
 
 impl Default for Param {
@@ -101,6 +108,7 @@ impl Default for Param {
             iteration_block_size: 1000,
             mem_mgr_growth_rate: 2.0,
             neighbor_access: NeighborAccess::ALL,
+            box_batched_mechanics: true,
         }
     }
 }

@@ -156,7 +156,7 @@ pub trait Operation: Send {
     /// cache. The built-in operations — including `agent_sorting`, which
     /// reads the SoA box order directly — never need them, so the default is
     /// `false`; override it in a custom operation that calls `box_head` or
-    /// `successor` on the grid. (`for_each_in_box` and `box_agents` are
+    /// `successor` on the grid. (`for_each_in_box` and `box_slots` are
     /// served from the SoA cache and need no override.) If a declaring
     /// operation appears *between* the rebuilds of a re-timed environment
     /// pipeline, the engine forces one extra rebuild so the lists exist on

@@ -51,6 +51,10 @@ pub struct SimStats {
     pub agents_removed: u64,
     /// Force calculations executed.
     pub force_calculations: u64,
+    /// Force calculations served by the box-batched grid path (stencil
+    /// resolved once per box, diameters streamed box-sorted). The rest ran
+    /// the scalar per-agent fallback.
+    pub batched_force_queries: u64,
     /// Force calculations skipped by static detection (Section 5).
     pub static_skipped: u64,
     /// Agent sorting passes executed.
@@ -483,6 +487,10 @@ impl Simulation {
             let hint = UpdateHint {
                 build_box_lists: box_lists,
                 known_bounds: self.snapshot.bounds,
+                // Some due kernel reads neighbor diameters (the mechanics
+                // force always does) → the grid scatters them box-sorted
+                // next to its query slots so those reads stream.
+                scatter_diameters: self.step_access.contains(NeighborAccess::DIAMETERS),
             };
             let cloud = SnapshotCloud(&self.snapshot);
             self.env.update_with(&cloud, self.step_radius, hint);
@@ -490,6 +498,10 @@ impl Simulation {
             let hint = UpdateHint {
                 build_box_lists: box_lists,
                 known_bounds: None,
+                // Without a fresh snapshot there is no diameter slice to
+                // scatter from (the resource-manager cloud reads agents
+                // through pointers); readers use the lazy fallback.
+                scatter_diameters: false,
             };
             let cloud = ResourceManagerCloud::new(&self.rm);
             self.env.update_with(&cloud, self.step_radius, hint);
@@ -556,6 +568,7 @@ impl Simulation {
                     BoxListPolicy::IfNeeded
                 },
                 known_bounds: None,
+                scatter_diameters: false,
             };
             self.env.update_with(&cloud, self.step_radius, hint);
         }
@@ -690,6 +703,7 @@ impl Simulation {
             max_displacement: self.param.simulation_max_displacement,
             detect_static: self.param.detect_static_agents,
             static_threshold: self.param.static_displacement_threshold,
+            box_batched: self.param.box_batched_mechanics,
         };
         let ctxs_ptr = SendMut::new(self.ctxs.as_mut_ptr());
         let env = &*self.env;
@@ -784,6 +798,7 @@ impl Simulation {
         // Fold per-iteration mechanics counters into the aggregate stats.
         for ctx in &mut self.ctxs {
             self.stats.force_calculations += std::mem::take(&mut ctx.force_calculations);
+            self.stats.batched_force_queries += std::mem::take(&mut ctx.batched_force_queries);
             self.stats.static_skipped += std::mem::take(&mut ctx.static_skipped);
         }
     }

@@ -239,7 +239,7 @@ fn box_counts(
     pool.parallel_for(flats.len(), 256, &|_c, range| {
         for b in range {
             let n = if use_soa {
-                grid.box_agents(flats[b]).expect("SoA cache active").len()
+                grid.box_slots(flats[b]).expect("SoA cache active").len()
             } else {
                 let mut n = 0usize;
                 grid.for_each_in_box(flats[b], &mut |_| n += 1);
@@ -272,9 +272,9 @@ fn box_grouped_order(
         for b in range {
             let mut w = offsets[b];
             if use_soa {
-                for &agent in grid.box_agents(flats[b]).expect("SoA cache active") {
+                for slot in grid.box_slots(flats[b]).expect("SoA cache active") {
                     // SAFETY: box ranges [offsets[b], offsets[b+1]) are disjoint.
-                    unsafe { order_ptr.write(w, agent) };
+                    unsafe { order_ptr.write(w, slot.index) };
                     w += 1;
                 }
             } else {
@@ -356,10 +356,11 @@ mod tests {
     fn soa_order_within_box_is_ascending_agent_index() {
         let (grid, _) = dense_grid();
         for flat in 0..grid.num_boxes() {
-            let agents = grid.box_agents(flat).expect("SoA active");
+            let slots = grid.box_slots(flat).expect("SoA active");
             assert!(
-                agents.windows(2).all(|w| w[0] < w[1]),
-                "box {flat} not ascending: {agents:?}"
+                slots.windows(2).all(|w| w[0].index < w[1].index),
+                "box {flat} not ascending: {:?}",
+                slots.iter().map(|s| s.index).collect::<Vec<_>>()
             );
         }
     }

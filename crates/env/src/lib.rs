@@ -35,7 +35,7 @@ use bdm_util::Real3;
 pub use brute::BruteForceEnvironment;
 pub use kdtree::KdTreeEnvironment;
 pub use octree::OctreeEnvironment;
-pub use uniform_grid::UniformGridEnvironment;
+pub use uniform_grid::{SortedSlot, StencilRuns, UniformGridEnvironment};
 
 /// Read-only view of the agent positions an environment indexes.
 pub trait PointCloud: Sync {
@@ -53,6 +53,13 @@ pub trait PointCloud: Sync {
     /// point (the engine hands the environment its snapshot's position
     /// array, so the hot path always takes this route).
     fn positions_slice(&self) -> Option<&[Real3]> {
+        None
+    }
+    /// Per-point diameters parallel to the positions, if the cloud carries
+    /// them (the engine's snapshot does; raw position clouds do not).
+    /// Consumed by the uniform grid's conditional diameter scatter when the
+    /// caller's [`UpdateHint::scatter_diameters`] requests it.
+    fn diameters(&self) -> Option<&[f64]> {
         None
     }
 }
@@ -154,15 +161,29 @@ impl EnvironmentKind {
 ///   the index build saves a full pass over the agents). Must enclose every
 ///   point of the cloud exactly as tightly as the index's own reduction
 ///   would (the engine passes the min/max over the identical positions).
+/// * `scatter_diameters` — whether some consumer will read neighbor
+///   *diameters* this iteration (the scheduler's due-kernel
+///   `NeighborAccess` union declares it). The uniform grid then scatters a
+///   box-sorted diameter array alongside its query cache in the same pass
+///   — if the cloud carries diameters ([`PointCloud::diameters`]) — so the
+///   force kernel streams them with the positions instead of gathering
+///   `diameters[idx]` per accepted neighbor. Purely an optimization:
+///   readers fall back to the lazy per-index load when the scatter was
+///   skipped, and the scattered values are bitwise copies.
 ///
 /// [`UpdateHint::default`] is the conservative standalone contract: build
-/// everything, compute bounds from the cloud.
+/// everything the cloud supports, compute bounds from the cloud — except
+/// the diameter scatter, which defaults off because plain position clouds
+/// carry no diameters and no reader requires it for correctness.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct UpdateHint {
     /// Request the per-box linked lists even if queries will not need them.
     pub build_box_lists: BoxListPolicy,
     /// Precomputed tight bounds of the cloud, if the caller has them.
     pub known_bounds: Option<(Real3, Real3)>,
+    /// Request the box-sorted diameter scatter (uniform grid only; requires
+    /// the cloud to implement [`PointCloud::diameters`]).
+    pub scatter_diameters: bool,
 }
 
 /// Whether [`Environment::update_with`] must materialize the uniform grid's

@@ -24,14 +24,19 @@
 //! * **3×3×3 search** — a fixed-radius query visits the query box and its 26
 //!   surrounding boxes.
 //! * **SoA query cache** — when the box table is dense enough, the rebuild
-//!   produces a per-box-sorted structure-of-arrays copy of the positions
-//!   (positions + agent indices delimited by a prefix-sum offset table).
-//!   Queries then stream contiguous memory instead of chasing the
+//!   produces a per-box-sorted copy of the cloud as **interleaved 32-byte
+//!   `(position, index)` slots** delimited by a prefix-sum offset table.
+//!   Queries then stream ONE contiguous array instead of chasing the
 //!   `successors` linked list through array-of-structs agents, and because
-//!   boxes adjacent in x are adjacent in the sorted arrays, the 3×3×3
-//!   stencil collapses into nine contiguous runs. The scatter that builds
-//!   the cache is tiled over box ranges so each pass writes into a bounded
-//!   window of the sorted arrays instead of spraying the whole allocation.
+//!   boxes adjacent in x are adjacent in the sorted slots, the 3×3×3
+//!   stencil collapses into nine contiguous runs ([`StencilRuns`] exposes
+//!   them for box-batched callers). When the caller's [`UpdateHint`]
+//!   declares that this iteration's kernels read neighbor diameters, a
+//!   box-sorted diameter array is scattered alongside the slots in the same
+//!   pass, so the force kernel's diameter load is a streamed neighbor of
+//!   the position instead of a random snapshot gather. The scatter is tiled
+//!   over box ranges so each pass writes into a bounded window of the
+//!   sorted arrays instead of spraying the whole allocation.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -76,8 +81,49 @@ const SCATTER_TILE_BYTES: usize = 4 << 20;
 /// per-agent box indices, so the pass count stays bounded.
 const MAX_SCATTER_TILES: usize = 8;
 
-/// Bytes one agent occupies in the SoA cache (position + index).
-const SOA_SLOT_BYTES: usize = std::mem::size_of::<Real3>() + std::mem::size_of::<u32>();
+/// Bytes one agent occupies in the SoA cache (one interleaved slot).
+const SOA_SLOT_BYTES: usize = std::mem::size_of::<SortedSlot>();
+
+/// One slot of the box-sorted SoA query cache: the point's position and its
+/// cloud index interleaved into a single record, so the stencil scan streams
+/// ONE contiguous array — the index that follows an accepted position sits
+/// on the same cache line instead of in a second parallel array.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(C)]
+pub struct SortedSlot {
+    /// Position of the point at build time.
+    pub position: Real3,
+    /// Index of the point in the indexed cloud.
+    pub index: u32,
+}
+
+// Tail padding rounds the slot up to 32 bytes — exactly half a cache line,
+// so the scan's stride is a power of two and a slot spans at most two lines.
+const _: () = assert!(std::mem::size_of::<SortedSlot>() == 32);
+
+/// The resolved 3×3×3 stencil of one box: the ≤9 non-empty contiguous
+/// `[start, end)` runs of the box-sorted slot array (see
+/// [`UniformGridEnvironment::slots`]), in deterministic scan order (z outer,
+/// y inner, each ascending; boxes adjacent in x fuse into one run).
+///
+/// Every agent resident in the same box shares the same stencil, so a
+/// box-batched caller resolves the runs once per box
+/// ([`UniformGridEnvironment::stencil_runs`]) and reuses the nine row
+/// offsets for the box's whole population instead of re-deriving them per
+/// agent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StencilRuns {
+    runs: [(u32, u32); 9],
+    len: u8,
+}
+
+impl StencilRuns {
+    /// The non-empty `[start, end)` slot runs, in scan order.
+    #[inline]
+    pub fn runs(&self) -> &[(u32, u32)] {
+        &self.runs[..self.len as usize]
+    }
+}
 
 /// Packs a box's `(timestamp, head)` into one atomic word so that the lazy
 /// reset-on-first-touch and the list push are a single CAS.
@@ -150,10 +196,13 @@ pub struct UniformGridEnvironment {
     /// passes move half the memory of a `usize` table. Only valid while
     /// `soa_active`.
     cell_offsets: Vec<u32>,
-    /// Positions grouped by box (SoA copy taken at `update()` time).
-    sorted_positions: Vec<Real3>,
-    /// Agent indices parallel to `sorted_positions`.
-    sorted_indices: Vec<u32>,
+    /// Interleaved `(position, index)` slots grouped by box (SoA copy taken
+    /// at `update()` time) — one contiguous array for the stencil scan.
+    sorted_slots: Vec<SortedSlot>,
+    /// Per-point diameters grouped by box, parallel to `sorted_slots`.
+    /// Scattered only when the caller's [`UpdateHint`] requested it and the
+    /// cloud carries diameters; only valid while `diameters_active`.
+    sorted_diameters: Vec<f64>,
     /// Per-agent flat box index recorded during the fused build pass
     /// (scratch for the counting sort; filled only when the cache is
     /// built — which guarantees the flat index fits in 32 bits).
@@ -172,9 +221,15 @@ pub struct UniformGridEnvironment {
     /// Whether the SoA cache matches the current build (dense clouds only;
     /// see [`SOA_MAX_BOXES_PER_POINT`]).
     soa_active: bool,
+    /// Whether `sorted_diameters` matches the current build (see the field).
+    diameters_active: bool,
     /// Whether the per-box linked lists match the current build (sparse
     /// clouds, or dense clouds whose caller requested them).
     lists_active: bool,
+    /// Monotonic count of completed rebuilds — a cheap identity for "the
+    /// build these cached values belong to". Externally cached per-build
+    /// state (resolved [`StencilRuns`]) is validated with one compare.
+    build_count: u64,
 }
 
 impl Default for UniformGridEnvironment {
@@ -197,13 +252,15 @@ impl UniformGridEnvironment {
             num_points: 0,
             bounds: None,
             cell_offsets: Vec::new(),
-            sorted_positions: Vec::new(),
-            sorted_indices: Vec::new(),
+            sorted_slots: Vec::new(),
+            sorted_diameters: Vec::new(),
             agent_boxes: Vec::new(),
             count_scratch: Vec::new(),
             occupancy: Vec::new(),
             soa_active: false,
+            diameters_active: false,
             lists_active: false,
+            build_count: 0,
         }
     }
 
@@ -254,14 +311,14 @@ impl UniformGridEnvironment {
     /// If the last update skipped the linked lists (see
     /// [`UniformGridEnvironment::lists_active`]); enumerate boxes with
     /// [`UniformGridEnvironment::for_each_in_box`] or
-    /// [`UniformGridEnvironment::box_agents`], which also serve from the SoA
+    /// [`UniformGridEnvironment::box_slots`], which also serve from the SoA
     /// cache.
     #[inline]
     pub fn box_head(&self, flat: usize) -> Option<u32> {
         assert!(
             self.lists_active,
             "the last update skipped the per-box linked lists; request them \
-             via UpdateHint::build_box_lists (or use box_agents/for_each_in_box)"
+             via UpdateHint::build_box_lists (or use box_slots/for_each_in_box)"
         );
         let (ts, head) = unpack(self.boxes[flat].load(Ordering::Relaxed));
         (ts == self.timestamp && head != NIL).then_some(head)
@@ -288,8 +345,8 @@ impl UniformGridEnvironment {
                 cur = self.successor(i);
             }
         } else if self.soa_active {
-            for &i in self.soa_box_agents(flat) {
-                visit(i);
+            for s in self.soa_box_slots(flat) {
+                visit(s.index);
             }
         } else {
             debug_assert_eq!(
@@ -313,20 +370,48 @@ impl UniformGridEnvironment {
         self.lists_active
     }
 
-    /// The agents of the box at `flat` as a slice of the SoA cache, in
-    /// ascending agent-index order, or `None` if the last update did not
-    /// build the cache. O(1); the agent-sorting operation reads the
-    /// box-grouped order straight from here (the counting sort *is* the
-    /// grouping the sort would otherwise recompute from the lists).
+    /// Number of completed [`Environment::update_with`] calls on this grid.
+    /// Changes on every rebuild (monotonic, survives
+    /// [`Environment::clear`]), so externally cached per-build state — the
+    /// engine's per-worker [`StencilRuns`] cache — stays valid exactly
+    /// while this count is unchanged.
+    pub fn build_count(&self) -> u64 {
+        self.build_count
+    }
+
+    /// The agents of the box at `flat` as a slice of the interleaved SoA
+    /// cache (each [`SortedSlot::index`] is an agent index), in ascending
+    /// agent-index order, or `None` if the last update did not build the
+    /// cache. O(1); the agent-sorting operation reads the box-grouped order
+    /// straight from here (the counting sort *is* the grouping the sort
+    /// would otherwise recompute from the lists).
     #[inline]
-    pub fn box_agents(&self, flat: usize) -> Option<&[u32]> {
-        self.soa_active.then(|| self.soa_box_agents(flat))
+    pub fn box_slots(&self, flat: usize) -> Option<&[SortedSlot]> {
+        self.soa_active.then(|| self.soa_box_slots(flat))
     }
 
     #[inline]
-    fn soa_box_agents(&self, flat: usize) -> &[u32] {
+    fn soa_box_slots(&self, flat: usize) -> &[SortedSlot] {
         debug_assert!(self.soa_active);
-        &self.sorted_indices[self.cell_offsets[flat] as usize..self.cell_offsets[flat + 1] as usize]
+        &self.sorted_slots[self.cell_offsets[flat] as usize..self.cell_offsets[flat + 1] as usize]
+    }
+
+    /// The box-sorted interleaved slot array of the current build, or `None`
+    /// while the SoA cache is inactive. [`StencilRuns`] ranges index into
+    /// this slice.
+    #[inline]
+    pub fn slots(&self) -> Option<&[SortedSlot]> {
+        self.soa_active.then_some(&self.sorted_slots[..])
+    }
+
+    /// Box-sorted per-point diameters parallel to
+    /// [`UniformGridEnvironment::slots`], or `None` when the last update did
+    /// not scatter them (the hint must request them via
+    /// [`UpdateHint::scatter_diameters`] **and** the cloud must carry them
+    /// via [`PointCloud::diameters`]).
+    #[inline]
+    pub fn scattered_diameters(&self) -> Option<&[f64]> {
+        (self.soa_active && self.diameters_active).then_some(&self.sorted_diameters[..])
     }
 
     /// Monomorphized SoA fast-path query: identical semantics to
@@ -355,16 +440,120 @@ impl UniformGridEnvironment {
         if !self.soa_active {
             return false;
         }
+        self.assert_query_radius(radius);
+        let r2 = radius * radius;
+        let bc = self.box_coordinates(pos);
+        self.for_each_stencil_run(bc, |start, end| {
+            for slot in start..end {
+                // SAFETY: runs lie within the slot array (prefix-sum build
+                // invariant, debug-asserted in `for_each_stencil_run`).
+                let s = unsafe { self.sorted_slots.get_unchecked(slot) };
+                let d2 = pos.distance_sq(&s.position);
+                if d2 <= r2 {
+                    let idx = s.index as usize;
+                    if Some(idx) != exclude {
+                        visit(idx, s.position, d2);
+                    }
+                }
+            }
+        });
+        true
+    }
+
+    /// Like [`UniformGridEnvironment::for_each_neighbor_soa`], but the
+    /// visitor additionally receives each accepted neighbor's **box-sorted
+    /// diameter** — streamed from the run the position came from, killing
+    /// the random `diameters[idx]` gather of the lazy snapshot load.
+    ///
+    /// Returns `false` without visiting anything when the last update did
+    /// not scatter diameters (see
+    /// [`UniformGridEnvironment::scattered_diameters`]) — callers fall back
+    /// to the plain query plus the lazy per-index load, which yields the
+    /// bitwise-identical value (the scatter copies, it never recomputes).
+    #[inline]
+    pub fn for_each_neighbor_soa_diam<F: FnMut(usize, Real3, f64, f64)>(
+        &self,
+        pos: Real3,
+        exclude: Option<usize>,
+        radius: f64,
+        mut visit: F,
+    ) -> bool {
+        if self.num_points == 0 || self.dims[0] == 0 {
+            return true;
+        }
+        if !self.soa_active || !self.diameters_active {
+            return false;
+        }
+        self.assert_query_radius(radius);
+        let r2 = radius * radius;
+        let bc = self.box_coordinates(pos);
+        self.for_each_stencil_run(bc, |start, end| {
+            for slot in start..end {
+                // SAFETY: runs lie within the slot array and
+                // `sorted_diameters` is parallel to it while
+                // `diameters_active` (same scatter pass).
+                unsafe {
+                    let s = self.sorted_slots.get_unchecked(slot);
+                    let d2 = pos.distance_sq(&s.position);
+                    if d2 <= r2 {
+                        let idx = s.index as usize;
+                        if Some(idx) != exclude {
+                            let diameter = *self.sorted_diameters.get_unchecked(slot);
+                            visit(idx, s.position, diameter, d2);
+                        }
+                    }
+                }
+            }
+        });
+        true
+    }
+
+    /// Resolves the 3×3×3 stencil of the box with coordinates `bc` (from
+    /// [`UniformGridEnvironment::box_coordinates`]) into its non-empty slot
+    /// runs, or `None` while the SoA cache is inactive. The stencil is a
+    /// pure function of the box, so all agents resident in one box share the
+    /// result — resolve once, query many (the box-batched mechanics path).
+    #[inline]
+    pub fn stencil_runs(&self, bc: [u32; 3]) -> Option<StencilRuns> {
+        if !self.soa_active || self.num_points == 0 || self.dims[0] == 0 {
+            return None;
+        }
+        let mut out = StencilRuns::default();
+        self.for_each_stencil_run(bc, |start, end| {
+            out.runs[out.len as usize] = (start as u32, end as u32);
+            out.len += 1;
+        });
+        Some(out)
+    }
+
+    /// A 3×3×3 box walk only covers queries up to the build radius; anything
+    /// larger would silently miss neighbors, so fail loudly.
+    #[inline]
+    fn assert_query_radius(&self, radius: f64) {
         assert!(
             radius <= self.box_length * (1.0 + 1e-12),
             "query radius {radius} exceeds the radius the uniform grid was built with ({}); \
              set Param::interaction_radius to the largest query radius of the model",
             self.box_length
         );
-        let r2 = radius * radius;
-        let bc = self.box_coordinates(pos);
-        // Nine contiguous runs (see the module docs): boxes adjacent in x
-        // are adjacent in flat index and in the sorted arrays.
+    }
+
+    /// Whether `radius` is servable by the 3×3×3 stencil of this build
+    /// (the condition the queries assert).
+    #[inline]
+    pub fn radius_within_build(&self, radius: f64) -> bool {
+        radius <= self.box_length * (1.0 + 1e-12)
+    }
+
+    /// The single definition of the stencil traversal: visits the ≤9
+    /// non-empty contiguous slot runs of the 3×3×3 stencil around box `bc`
+    /// in deterministic scan order (z outer, y inner, ascending). Shared by
+    /// the per-agent queries and [`UniformGridEnvironment::stencil_runs`],
+    /// so the box-batched path visits candidates in exactly the per-agent
+    /// order. Boxes adjacent in x are adjacent in flat index and in the
+    /// sorted slots, so each (z, y) row collapses into one run.
+    #[inline(always)]
+    fn for_each_stencil_run(&self, bc: [u32; 3], mut run: impl FnMut(usize, usize)) {
         let x0 = bc[0].saturating_sub(1) as usize;
         let x1 = (bc[0] + 1).min(self.dims[0] - 1) as usize;
         let stride_y = self.dims[0] as usize;
@@ -375,7 +564,7 @@ impl UniformGridEnvironment {
         );
         debug_assert_eq!(
             *self.cell_offsets.last().unwrap() as usize,
-            self.sorted_positions.len()
+            self.sorted_slots.len()
         );
         for dz in -1i64..=1 {
             let z = bc[2] as i64 + dz;
@@ -392,7 +581,7 @@ impl UniformGridEnvironment {
                 // SAFETY: `row + x` indexes a valid box (x ≤ dims[0]-1,
                 // y < dims[1], z < dims[2] checked above), `occupancy` has
                 // ⌈nboxes/64⌉ words, and `cell_offsets` has nboxes+1
-                // entries; every offset is ≤ n = sorted_*.len() by the
+                // entries; every offset is ≤ n = sorted_slots.len() by the
                 // prefix-sum build invariant (debug-asserted above).
                 unsafe {
                     // Empty-run skip: test the run's ≤3 occupancy bits in
@@ -414,20 +603,10 @@ impl UniformGridEnvironment {
                     }
                     let start = *self.cell_offsets.get_unchecked(row + x0) as usize;
                     let end = *self.cell_offsets.get_unchecked(row + x1 + 1) as usize;
-                    for slot in start..end {
-                        let p = *self.sorted_positions.get_unchecked(slot);
-                        let d2 = pos.distance_sq(&p);
-                        if d2 <= r2 {
-                            let idx = *self.sorted_indices.get_unchecked(slot) as usize;
-                            if Some(idx) != exclude {
-                                visit(idx, p, d2);
-                            }
-                        }
-                    }
+                    run(start, end);
                 }
             }
         }
-        true
     }
 
     /// Number of chunk-private count rows for the fused counting pass.
@@ -550,26 +729,43 @@ impl UniformGridEnvironment {
         }
     }
 
-    /// Scatter pass of the SoA build: every agent's position/index goes to
-    /// the cursor of its `(chunk, box)` pair. Chunks run in parallel; the
+    /// Scatter pass of the SoA build: every agent's interleaved
+    /// `(position, index)` slot — and, when requested, its diameter — goes
+    /// to the cursor of its `(chunk, box)` pair. Chunks run in parallel; the
     /// cursors make all writes disjoint and the within-box order ascending
     /// by agent index (deterministic regardless of scheduling). Large
     /// scatters are tiled over contiguous box ranges — each tile pass
     /// re-streams the cheap sequential box indices but confines the random
-    /// position/index stores to a bounded window of the sorted arrays (see
+    /// slot stores to a bounded window of the sorted arrays (see
     /// [`SCATTER_TILE_BYTES`]), so they hit far fewer open DRAM pages.
-    fn scatter_soa(&mut self, positions: Positions<'_>, n: usize, nboxes: usize, chunks: usize) {
-        self.sorted_positions.resize(n, Real3::ZERO);
-        self.sorted_indices.resize(n, 0);
-        let pos_ptr = SendMut::new(self.sorted_positions.as_mut_ptr());
-        let idx_ptr = SendMut::new(self.sorted_indices.as_mut_ptr());
+    fn scatter_soa(
+        &mut self,
+        positions: Positions<'_>,
+        diameters: Option<&[f64]>,
+        n: usize,
+        nboxes: usize,
+        chunks: usize,
+    ) {
+        self.sorted_slots.resize(
+            n,
+            SortedSlot {
+                position: Real3::ZERO,
+                index: 0,
+            },
+        );
+        if diameters.is_some() {
+            self.sorted_diameters.resize(n, 0.0);
+        }
+        let slot_ptr = SendMut::new(self.sorted_slots.as_mut_ptr());
+        let diam_ptr = SendMut::new(self.sorted_diameters.as_mut_ptr());
         let counts_ptr = SendMut::new(self.count_scratch.as_mut_ptr());
         let flats = &self.agent_boxes[..n];
         let offsets = &self.cell_offsets;
         // Tile boundaries in box space, balanced by slot count: tile t
         // covers boxes [tile_bounds[t], tile_bounds[t+1]) and therefore a
         // write window of about n/tiles sorted slots.
-        let tiles = (n * SOA_SLOT_BYTES / SCATTER_TILE_BYTES).clamp(1, MAX_SCATTER_TILES);
+        let slot_bytes = SOA_SLOT_BYTES + diameters.map_or(0, |_| std::mem::size_of::<f64>());
+        let tiles = (n * slot_bytes / SCATTER_TILE_BYTES).clamp(1, MAX_SCATTER_TILES);
         let mut tile_bounds = [0usize; MAX_SCATTER_TILES + 1];
         for t in 1..tiles {
             let target = (t * n / tiles) as u32;
@@ -598,8 +794,16 @@ impl UniformGridEnvironment {
                         let cursor = counts_ptr.ptr_at(row + flat as usize);
                         let w = *cursor as usize;
                         *cursor += 1;
-                        pos_ptr.write(w, positions.get(i));
-                        idx_ptr.write(w, i as u32);
+                        slot_ptr.write(
+                            w,
+                            SortedSlot {
+                                position: positions.get(i),
+                                index: i as u32,
+                            },
+                        );
+                        if let Some(src) = diameters {
+                            diam_ptr.write(w, src[i]);
+                        }
                     }
                 }
             }
@@ -629,6 +833,7 @@ impl Environment for UniformGridEnvironment {
             "interaction radius must be positive and finite"
         );
         let n = cloud.len();
+        self.build_count += 1;
         // Resolve the position accessor once: slice-backed clouds (the
         // engine's snapshot) are read as straight memory in every pass
         // below; everything else pays one virtual call per point.
@@ -638,6 +843,7 @@ impl Environment for UniformGridEnvironment {
         };
         self.num_points = n;
         self.soa_active = false;
+        self.diameters_active = false;
         self.lists_active = false;
         self.timestamp = self.timestamp.wrapping_add(1);
         if self.timestamp == 0 {
@@ -834,8 +1040,18 @@ impl Environment for UniformGridEnvironment {
         if build_cache {
             self.merge_counts(chunks, nboxes, n);
             self.build_occupancy(nboxes);
-            self.scatter_soa(positions, n, nboxes, chunks);
+            // Box-sorted diameters ride along in the same scatter pass, but
+            // only when this iteration's due kernels declared they read
+            // neighbor diameters (the hint) and the cloud carries them (the
+            // engine's snapshot does; raw position clouds do not).
+            let diameters = if hint.scatter_diameters {
+                cloud.diameters().filter(|d| d.len() == n)
+            } else {
+                None
+            };
+            self.scatter_soa(positions, diameters, n, nboxes, chunks);
             self.soa_active = true;
+            self.diameters_active = diameters.is_some();
         }
         self.lists_active = build_lists;
     }
@@ -914,12 +1130,13 @@ impl Environment for UniformGridEnvironment {
         self.dims = [0; 3];
         self.bounds = None;
         self.cell_offsets.clear();
-        self.sorted_positions.clear();
-        self.sorted_indices.clear();
+        self.sorted_slots.clear();
+        self.sorted_diameters.clear();
         self.agent_boxes.clear();
         self.count_scratch.clear();
         self.occupancy.clear();
         self.soa_active = false;
+        self.diameters_active = false;
         self.lists_active = false;
     }
 
@@ -933,12 +1150,19 @@ impl Environment for UniformGridEnvironment {
                 + self.successors.capacity() * std::mem::size_of::<u32>();
         }
         if self.soa_active {
+            // The interleaved slot array replaced the old split
+            // position/index arrays — count it once, at its real (padded)
+            // stride, not as the sum of the former parts.
             bytes += self.cell_offsets.capacity() * std::mem::size_of::<u32>()
-                + self.sorted_positions.capacity() * std::mem::size_of::<Real3>()
-                + self.sorted_indices.capacity() * std::mem::size_of::<u32>()
+                + self.sorted_slots.capacity() * std::mem::size_of::<SortedSlot>()
                 + self.agent_boxes.capacity() * std::mem::size_of::<u32>()
                 + self.count_scratch.capacity() * std::mem::size_of::<u32>()
                 + self.occupancy.capacity() * std::mem::size_of::<u64>();
+            // The diameter scatter is conditional; a lingering buffer from
+            // an earlier build costs nothing when this build skipped it.
+            if self.diameters_active {
+                bytes += self.sorted_diameters.capacity() * std::mem::size_of::<f64>();
+            }
         }
         bytes
     }

@@ -16,7 +16,7 @@ use bdm_util::{Real3, SimRng};
 fn chunked_count_merge_and_tiled_scatter_match_brute() {
     // Force the multi-chunk counting sort (4 chunk-private count rows) and
     // a multi-tile scatter: 320k points cross the parallel threshold AND
-    // the ~4 MB tile window (320k × 28 B ≈ 8.9 MB → 2 tiles), so the
+    // the ~4 MB tile window (320k × 32 B ≈ 10 MB → 3 tiles), so the
     // tile-boundary partitioning really runs. The SoA order must stay the
     // deterministic ascending-agent-index grouping, and sampled queries
     // must match brute force. (On machines with more worker threads this
@@ -32,7 +32,7 @@ fn chunked_count_merge_and_tiled_scatter_match_brute() {
         4.0,
         UpdateHint {
             build_box_lists: BoxListPolicy::IfNeeded,
-            known_bounds: None,
+            ..UpdateHint::default()
         },
     );
     assert!(grid.soa_active() && !grid.lists_active());
@@ -40,9 +40,12 @@ fn chunked_count_merge_and_tiled_scatter_match_brute() {
     // Deterministic grouping: ascending agent index within every box.
     let mut total = 0usize;
     for flat in 0..grid.num_boxes() {
-        let agents = grid.box_agents(flat).unwrap();
-        assert!(agents.windows(2).all(|w| w[0] < w[1]), "box {flat}");
-        total += agents.len();
+        let slots = grid.box_slots(flat).unwrap();
+        assert!(
+            slots.windows(2).all(|w| w[0].index < w[1].index),
+            "box {flat}"
+        );
+        total += slots.len();
     }
     assert_eq!(total, n);
 

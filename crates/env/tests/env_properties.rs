@@ -14,7 +14,7 @@ use proptest::prelude::*;
 fn lazy_hint() -> UpdateHint {
     UpdateHint {
         build_box_lists: BoxListPolicy::IfNeeded,
-        known_bounds: None,
+        ..UpdateHint::default()
     }
 }
 
@@ -323,11 +323,12 @@ fn lazy_lists_skipped_on_dense_hint_with_full_parity() {
     // for_each_in_box serves from the SoA cache when the lists are off.
     let mut seen = vec![false; points.len()];
     for flat in 0..grid.num_boxes() {
-        let slice = grid.box_agents(flat).expect("SoA cache active");
+        let slots = grid.box_slots(flat).expect("SoA cache active");
         let mut walked = Vec::new();
         grid.for_each_in_box(flat, &mut |i| walked.push(i));
-        assert_eq!(walked, slice.to_vec());
-        for &i in slice {
+        assert_eq!(walked, slots.iter().map(|s| s.index).collect::<Vec<_>>());
+        for s in slots {
+            let i = s.index;
             assert!(!seen[i as usize], "agent {i} listed twice");
             seen[i as usize] = true;
         }
@@ -354,7 +355,12 @@ fn soa_and_linked_list_group_identically_when_both_built() {
     grid.update(&pc(&points), 2.5);
     assert!(grid.soa_active() && grid.lists_active());
     for flat in 0..grid.num_boxes() {
-        let mut from_soa = grid.box_agents(flat).unwrap().to_vec();
+        let mut from_soa: Vec<u32> = grid
+            .box_slots(flat)
+            .unwrap()
+            .iter()
+            .map(|s| s.index)
+            .collect();
         let mut from_list = Vec::new();
         let mut cur = grid.box_head(flat);
         while let Some(i) = cur {
@@ -421,6 +427,7 @@ fn known_bounds_hint_matches_self_computed_bounds() {
         UpdateHint {
             build_box_lists: BoxListPolicy::Always,
             known_bounds: Some((lo, hi)),
+            ..UpdateHint::default()
         },
     );
     assert_eq!(hinted.dims(), self_computed.dims());

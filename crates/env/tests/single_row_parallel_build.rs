@@ -17,7 +17,7 @@ use bdm_util::{Real3, SimRng};
 fn atomic_single_row_build_with_parallel_tiles_matches_brute() {
     // Two workers, but the count-chunk override pins a single row: the
     // build must take the shared-atomic histogram branch and the scatter
-    // the tile-parallel branch (320k × 28 B ≈ 8.9 MB → 2 tiles), and the
+    // the tile-parallel branch (320k × 32 B ≈ 10 MB → 3 tiles), and the
     // SoA grouping must still be the deterministic ascending-agent-index
     // order.
     std::env::set_var("RAYON_NUM_THREADS", "2");
@@ -31,16 +31,19 @@ fn atomic_single_row_build_with_parallel_tiles_matches_brute() {
         4.0,
         UpdateHint {
             build_box_lists: BoxListPolicy::IfNeeded,
-            known_bounds: None,
+            ..UpdateHint::default()
         },
     );
     assert!(grid.soa_active() && !grid.lists_active());
 
     let mut total = 0usize;
     for flat in 0..grid.num_boxes() {
-        let agents = grid.box_agents(flat).unwrap();
-        assert!(agents.windows(2).all(|w| w[0] < w[1]), "box {flat}");
-        total += agents.len();
+        let slots = grid.box_slots(flat).unwrap();
+        assert!(
+            slots.windows(2).all(|w| w[0].index < w[1].index),
+            "box {flat}"
+        );
+        total += slots.len();
     }
     assert_eq!(total, n);
 
