@@ -1,0 +1,84 @@
+//! Checkpoint size and throughput measurement.
+//!
+//! For every selected model: the full-checkpoint size, the delta size after
+//! further iterations (agents changed), the delta size at rest (nothing
+//! changed — counters only), and the serialize/restore wall time with the
+//! derived throughput. The committed baseline capture
+//! (`bench/baselines/ckpt_bytes.csv`) uses the `run_all` protocol scale;
+//! docs/PERFORMANCE.md records a 10⁶-agent throughput run of this binary.
+
+use std::time::Instant;
+
+use bdm_bench::{emit, fmt_bytes, header, Args};
+use bdm_checkpoint::{baseline, checkpoint, checkpoint_delta, restore, Registry};
+use bdm_core::Param;
+use bdm_util::Table;
+
+fn main() {
+    bdm_bench::child_guard();
+    let args = Args::parse();
+    header("Checkpoint size and throughput", &args);
+
+    let agents = args.scale(10_000);
+    let iterations = args.iters(5);
+    println!("agents={agents} iterations={iterations}; delta base taken mid-run\n");
+
+    let reg = Registry::with_builtin_types();
+    let mut table = Table::new([
+        "model",
+        "full bytes",
+        "delta bytes (changed)",
+        "delta bytes (at rest)",
+        "bytes/agent",
+        "write",
+        "restore",
+    ]);
+    for name in args.selected_models() {
+        let model = bdm_models::model_by_name(&name, agents).expect("known model");
+        let param = Param {
+            seed: args.seed,
+            threads: args.threads,
+            numa_domains: args.domains,
+            ..Param::default()
+        };
+        let mut sim = model.build(param);
+        sim.simulate(iterations);
+
+        let t0 = Instant::now();
+        let full = checkpoint(&sim).expect("checkpoint");
+        let write_secs = t0.elapsed().as_secs_f64();
+        let base = baseline(&full).expect("baseline");
+
+        // Nothing changed since the full checkpoint: counters only.
+        let delta_rest = checkpoint_delta(&sim, &base).expect("delta at rest");
+
+        // Step on: the agent arrays (and any grids) change.
+        sim.simulate(2);
+        let delta_changed = checkpoint_delta(&sim, &base).expect("delta");
+
+        let t1 = Instant::now();
+        let restored = restore(&full, &reg).expect("restore");
+        let restore_secs = t1.elapsed().as_secs_f64();
+        assert_eq!(restored.iteration(), iterations as u64, "{name}");
+
+        let n = restored.num_agents() as u64;
+        table.row([
+            name.clone(),
+            full.len().to_string(),
+            delta_changed.len().to_string(),
+            delta_rest.len().to_string(),
+            format!("{:.1}", full.len() as f64 / n.max(1) as f64),
+            format!(
+                "{:.1} ms ({}/s)",
+                write_secs * 1e3,
+                fmt_bytes((full.len() as f64 / write_secs) as u64)
+            ),
+            format!(
+                "{:.1} ms ({}/s)",
+                restore_secs * 1e3,
+                fmt_bytes((full.len() as f64 / restore_secs) as u64)
+            ),
+        ]);
+    }
+    emit(&table, "ckpt_bytes", &args);
+}

@@ -373,6 +373,7 @@ fn env_to_str(env: EnvironmentKind) -> &'static str {
         EnvironmentKind::UniformGrid => "grid",
         EnvironmentKind::KdTree => "kdtree",
         EnvironmentKind::Octree => "octree",
+        EnvironmentKind::Brute => "brute",
     }
 }
 
@@ -381,6 +382,7 @@ fn env_from_str(s: &str) -> Option<EnvironmentKind> {
         "grid" => Some(EnvironmentKind::UniformGrid),
         "kdtree" => Some(EnvironmentKind::KdTree),
         "octree" => Some(EnvironmentKind::Octree),
+        "brute" => Some(EnvironmentKind::Brute),
         _ => None,
     }
 }

@@ -1,0 +1,184 @@
+//! The container format: header, section table, trailer.
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"BDMCKPT\0"
+//! 8       4     format version (u32 LE, currently 1)
+//! 12      1     kind: 0 = full, 1 = delta
+//! 13      8     base file id (u64 LE): fnv1a64 of the base full
+//!               checkpoint's bytes for deltas, 0 for full checkpoints
+//! 21      4     section count (u32 LE)
+//!         ...   sections, each:
+//!                 4   tag (ASCII fourcc: PARM FORC CNTR AGNT DIFF SCHD)
+//!                 8   payload length (u64 LE)
+//!                 8   payload checksum: fnv1a64(payload)
+//!                 n   payload
+//! end-8   8     whole-file checksum: fnv1a64 of every preceding byte
+//! ```
+//!
+//! Section payload layouts live in [`crate::sections`]. Every multi-byte
+//! integer is little-endian; every float travels as its IEEE-754 bit
+//! pattern, making write→read round-trips bitwise exact.
+
+use bdm_util::{fnv1a64, ByteReader, ByteWriter};
+
+use crate::error::{truncated, CheckpointError};
+
+/// File magic.
+pub const MAGIC: [u8; 8] = *b"BDMCKPT\0";
+/// Current format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Header `kind` byte of a full checkpoint.
+pub const KIND_FULL: u8 = 0;
+/// Header `kind` byte of a delta checkpoint.
+pub const KIND_DELTA: u8 = 1;
+
+/// Section tags, in canonical file order.
+pub mod tag {
+    /// Engine parameters ([`bdm_core::Param`]).
+    pub const PARAM: [u8; 4] = *b"PARM";
+    /// Interaction force coefficients.
+    pub const FORCE: [u8; 4] = *b"FORC";
+    /// Iteration / uid / topology / generation counters.
+    pub const COUNTERS: [u8; 4] = *b"CNTR";
+    /// Agent arrays (all domains).
+    pub const AGENTS: [u8; 4] = *b"AGNT";
+    /// Diffusion grids.
+    pub const DIFFUSION: [u8; 4] = *b"DIFF";
+    /// Scheduler op list state.
+    pub const SCHEDULER: [u8; 4] = *b"SCHD";
+}
+
+/// All six tags in canonical order (also the write order).
+pub const ALL_TAGS: [[u8; 4]; 6] = [
+    tag::PARAM,
+    tag::FORCE,
+    tag::COUNTERS,
+    tag::AGENTS,
+    tag::DIFFUSION,
+    tag::SCHEDULER,
+];
+
+/// Human-readable section name for error messages.
+pub fn tag_name(t: [u8; 4]) -> &'static str {
+    match &t {
+        b"PARM" => "PARAM",
+        b"FORC" => "FORCE",
+        b"CNTR" => "COUNTERS",
+        b"AGNT" => "AGENTS",
+        b"DIFF" => "DIFFUSION",
+        b"SCHD" => "SCHEDULER",
+        _ => "unknown",
+    }
+}
+
+/// A parsed checkpoint: header fields plus the verified sections.
+pub struct Parsed<'a> {
+    /// `KIND_FULL` or `KIND_DELTA`.
+    pub kind: u8,
+    /// Base file id (deltas only; 0 for full checkpoints).
+    pub base_id: u64,
+    /// `(tag, payload)` in file order; checksums already verified.
+    pub sections: Vec<([u8; 4], &'a [u8])>,
+}
+
+impl<'a> Parsed<'a> {
+    /// The payload of section `t`, if present.
+    pub fn section(&self, t: [u8; 4]) -> Option<&'a [u8]> {
+        self.sections
+            .iter()
+            .find(|(st, _)| *st == t)
+            .map(|(_, p)| *p)
+    }
+
+    /// The payload of section `t`, or the typed missing-section error.
+    pub fn require(&self, t: [u8; 4]) -> Result<&'a [u8], CheckpointError> {
+        self.section(t).ok_or(CheckpointError::MissingSection {
+            section: tag_name(t),
+        })
+    }
+}
+
+/// Assembles a checkpoint file from its sections (already encoded payloads).
+pub fn assemble(kind: u8, base_id: u64, sections: &[([u8; 4], Vec<u8>)]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(&MAGIC);
+    w.put_u32(FORMAT_VERSION);
+    w.put_u8(kind);
+    w.put_u64(base_id);
+    w.put_u32(sections.len() as u32);
+    for (t, payload) in sections {
+        w.put_bytes(t);
+        w.put_u64(payload.len() as u64);
+        w.put_u64(fnv1a64(payload));
+        w.put_bytes(payload);
+    }
+    let file_sum = fnv1a64(w.as_slice());
+    w.put_u64(file_sum);
+    w.into_bytes()
+}
+
+/// Parses and fully verifies a checkpoint file: magic, format version,
+/// whole-file checksum, then every section checksum. Never panics on
+/// malformed input.
+pub fn parse(bytes: &[u8]) -> Result<Parsed<'_>, CheckpointError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.take_bytes(MAGIC.len()).map_err(truncated("header"))?;
+    if magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = r.take_u32().map_err(truncated("header"))?;
+    if version != FORMAT_VERSION {
+        return Err(CheckpointError::VersionMismatch { found: version });
+    }
+    let kind = r.take_u8().map_err(truncated("header"))?;
+    if kind != KIND_FULL && kind != KIND_DELTA {
+        return Err(CheckpointError::Malformed {
+            section: "header",
+            detail: format!("unknown checkpoint kind {kind}"),
+        });
+    }
+    let base_id = r.take_u64().map_err(truncated("header"))?;
+    let count = r.take_u32().map_err(truncated("header"))? as usize;
+
+    // Verify the trailer before trusting any section metadata: a trailing
+    // whole-file checksum catches corruption anywhere, including in the
+    // section table itself.
+    if bytes.len() < 8 {
+        return Err(CheckpointError::ChecksumMismatch { section: "file" });
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    if fnv1a64(body) != stored {
+        return Err(CheckpointError::ChecksumMismatch { section: "file" });
+    }
+
+    let mut sections = Vec::with_capacity(count);
+    for _ in 0..count {
+        let t: [u8; 4] = r
+            .take_bytes(4)
+            .map_err(truncated("section table"))?
+            .try_into()
+            .unwrap();
+        let name = tag_name(t);
+        let len = r.take_u64().map_err(truncated(name))? as usize;
+        let sum = r.take_u64().map_err(truncated(name))?;
+        let payload = r.take_bytes(len).map_err(truncated(name))?;
+        if fnv1a64(payload) != sum {
+            return Err(CheckpointError::ChecksumMismatch { section: name });
+        }
+        sections.push((t, payload));
+    }
+    // Exactly the trailer must remain.
+    if r.remaining() != 8 {
+        return Err(CheckpointError::Malformed {
+            section: "trailer",
+            detail: format!("{} bytes after the last section, expected 8", r.remaining()),
+        });
+    }
+    Ok(Parsed {
+        kind,
+        base_id,
+        sections,
+    })
+}

@@ -216,6 +216,23 @@ pub trait Agent: Send + Sync {
         true
     }
 
+    /// Stable type tag identifying this agent type in a checkpoint. The
+    /// default `""` marks the type as **not checkpointable**: serializing a
+    /// simulation containing it fails with a typed error instead of writing
+    /// a checkpoint that cannot be restored. Tags are wire format — once
+    /// published they must never change meaning.
+    fn checkpoint_tag(&self) -> &'static str {
+        ""
+    }
+
+    /// Serializes the type-specific state **beyond** the [`AgentBase`]
+    /// fields (uid/position/diameter/behaviors travel separately, written
+    /// by the checkpoint layer). The registered reader for
+    /// [`Agent::checkpoint_tag`] must consume exactly these bytes.
+    fn checkpoint_write(&self, out: &mut bdm_util::ByteWriter) {
+        let _ = out;
+    }
+
     /// Deep-clones the agent into fresh pool memory of `domain`
     /// (used by agent sorting; paper Section 4.2, step G).
     fn clone_box(&self, mm: &MemoryManager, domain: usize) -> AgentBox;
@@ -376,6 +393,14 @@ impl Agent for Cell {
     }
     fn payload(&self) -> u64 {
         self.cell_type
+    }
+    fn checkpoint_tag(&self) -> &'static str {
+        "core.Cell"
+    }
+    fn checkpoint_write(&self, out: &mut bdm_util::ByteWriter) {
+        out.put_u64(self.cell_type);
+        out.put_f64(self.growth_rate);
+        out.put_f64(self.division_threshold);
     }
     fn clone_box(&self, mm: &MemoryManager, domain: usize) -> AgentBox {
         clone_agent_box(self, mm, domain)

@@ -86,6 +86,21 @@ pub trait Behavior: Send + Sync {
     fn name(&self) -> &'static str {
         "behavior"
     }
+
+    /// Stable type tag identifying this behavior type in a checkpoint. The
+    /// default `""` marks the type as **not checkpointable**: serializing an
+    /// agent carrying it fails with a typed error instead of silently
+    /// dropping the behavior. Tags are wire format — once published they
+    /// must never change meaning.
+    fn checkpoint_tag(&self) -> &'static str {
+        ""
+    }
+
+    /// Serializes the behavior's state. The registered reader for
+    /// [`Behavior::checkpoint_tag`] must consume exactly these bytes.
+    fn checkpoint_write(&self, out: &mut bdm_util::ByteWriter) {
+        let _ = out;
+    }
 }
 
 /// One-line implementation helper for [`Behavior::clone_behavior`].

@@ -88,6 +88,20 @@ impl NeighborAccess {
     pub const fn reads_payloads(self) -> bool {
         self.contains(NeighborAccess::PAYLOADS)
     }
+
+    /// The raw flag bits — the checkpoint wire representation.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds the set from [`NeighborAccess::bits`]; `None` if `bits`
+    /// contains flags this engine version does not know.
+    pub const fn from_bits(bits: u8) -> Option<NeighborAccess> {
+        if bits & !NeighborAccess::ALL.0 != 0 {
+            return None;
+        }
+        Some(NeighborAccess(bits))
+    }
 }
 
 impl Default for NeighborAccess {

@@ -21,6 +21,8 @@
 //!   ordered op list, per-op frequencies and timings, built-in phases.
 //! * [`builder`] — fluent [`SimulationBuilder`] construction.
 //! * [`simulation`] — the simulation object driving the scheduler.
+//! * [`testing`] — bitwise state capture and differential comparison for the
+//!   conformance suites (checkpoint replay, cross-backend determinism).
 
 #![warn(missing_docs)]
 
@@ -35,6 +37,7 @@ pub mod resource_manager;
 pub mod scheduler;
 pub mod simulation;
 pub(crate) mod sorting;
+pub mod testing;
 
 pub use agent::{
     clone_agent_box, new_agent_box, Agent, AgentBase, AgentBox, AgentHandle, AgentUid, Cell,

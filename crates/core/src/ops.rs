@@ -7,7 +7,7 @@ use crate::agent::Agent;
 use crate::behavior::BehaviorControl;
 use crate::context::AgentContext;
 use crate::force::InteractionForce;
-use crate::resource_manager::StaticFlags;
+use crate::resource_manager::{StaticFlags, VIOL_CUR, VIOL_NEXT};
 
 /// Runs all behaviors of `agent`. Behaviors are temporarily detached from
 /// the agent so they can receive `&mut dyn Agent` without aliasing; behaviors
@@ -47,9 +47,14 @@ pub(crate) struct MechanicsConfig {
 }
 
 /// Shared view of the per-domain violation flags, addressed by global index.
+///
+/// Double-buffered within one byte (see [`VIOL_CUR`]/[`VIOL_NEXT`]): raises
+/// from this pass land on the NEXT bit, takes consume only the CUR bit set
+/// by the *previous* pass, so the outcome never depends on which of two
+/// concurrently processed agents ran first.
 pub(crate) struct ViolationTable<'a> {
     /// One slice per domain.
-    pub slices: Vec<&'a [std::sync::atomic::AtomicBool]>,
+    pub slices: Vec<&'a [std::sync::atomic::AtomicU8]>,
     /// Domain offsets (with total appended).
     pub offsets: &'a [usize],
 }
@@ -64,18 +69,20 @@ impl ViolationTable<'_> {
         (d, global - self.offsets[d])
     }
 
-    /// Sets the violation flag of the agent at `global`.
+    /// Raises a violation for the *next* iteration's pass of the agent at
+    /// `global`.
     #[inline]
     pub fn raise(&self, global: usize) {
         let (d, i) = self.locate(global);
-        self.slices[d][i].store(true, std::sync::atomic::Ordering::Relaxed);
+        self.slices[d][i].fetch_or(VIOL_NEXT, std::sync::atomic::Ordering::Relaxed);
     }
 
-    /// Consumes the violation flag of the agent at `global`.
+    /// Consumes the pending violation flag of the agent at `global`.
     #[inline]
     pub fn take(&self, global: usize) -> bool {
         let (d, i) = self.locate(global);
-        self.slices[d][i].swap(false, std::sync::atomic::Ordering::Relaxed)
+        let prev = self.slices[d][i].fetch_and(!VIOL_CUR, std::sync::atomic::Ordering::Relaxed);
+        prev & VIOL_CUR != 0
     }
 }
 

@@ -13,7 +13,7 @@
 //! neighbors may set concurrently). All commit operations keep the sidecars
 //! aligned.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use bdm_env::PointCloud;
 use bdm_numa::NumaThreadPool;
@@ -43,19 +43,34 @@ impl StaticFlags {
     }
 }
 
+/// Violation flag bit: pending for the *next* mechanics pass (what
+/// [`ResourceManager::take_violation`] consumes).
+///
+/// The flag is double-buffered within one byte so that raising and
+/// consuming can overlap inside the same parallel agent pass without the
+/// outcome depending on scheduling: a raise during iteration *k* targets
+/// [`VIOL_NEXT`], takes during *k* consume only `VIOL_CUR`, and
+/// [`ResourceManager::promote_violations`] shifts NEXT into CUR once the
+/// pass has finished. With a single bit, whether a neighbor's raise landed
+/// before or after the victim's take decided *which iteration* the victim
+/// woke up in — a data race breaking bit-reproducibility.
+pub(crate) const VIOL_CUR: u8 = 0b01;
+/// Violation flag bit: raised during the currently running agent pass.
+pub(crate) const VIOL_NEXT: u8 = 0b10;
+
 /// Storage of one NUMA domain.
 #[derive(Default)]
 pub(crate) struct DomainStore {
     pub(crate) agents: Vec<AgentBox>,
     pub(crate) flags: Vec<StaticFlags>,
-    pub(crate) violations: Vec<AtomicBool>,
+    pub(crate) violations: Vec<AtomicU8>,
 }
 
 impl DomainStore {
     fn push(&mut self, agent: AgentBox, iteration: u64) {
         self.agents.push(agent);
         self.flags.push(StaticFlags::new(iteration));
-        self.violations.push(AtomicBool::new(false));
+        self.violations.push(AtomicU8::new(0));
     }
 
     fn swap(&mut self, a: usize, b: usize) {
@@ -165,6 +180,19 @@ impl ResourceManager {
         &mut *self.domains[h.domain as usize].agents[h.index as usize]
     }
 
+    /// The static-detection sidecar of an agent (checkpointing; Section 5
+    /// state survives a serialize→restore round trip through this pair of
+    /// accessors).
+    pub fn static_flags(&self, h: AgentHandle) -> StaticFlags {
+        self.domains[h.domain as usize].flags[h.index as usize]
+    }
+
+    /// Overwrites the static-detection sidecar of an agent (restore path).
+    /// Does not count as a structural change: the agent itself is untouched.
+    pub fn set_static_flags(&mut self, h: AgentHandle, flags: StaticFlags) {
+        self.domains[h.domain as usize].flags[h.index as usize] = flags;
+    }
+
     /// Visits every agent with its handle.
     pub fn for_each_agent(&self, mut f: impl FnMut(AgentHandle, &dyn Agent)) {
         for (d, store) in self.domains.iter().enumerate() {
@@ -187,7 +215,6 @@ impl ResourceManager {
         parallel: bool,
         iteration: u64,
     ) -> CommitStats {
-        self.generation += 1;
         let mut stats = CommitStats::default();
 
         // ---- Removals (before additions, so handles stay valid). ----
@@ -232,6 +259,13 @@ impl ResourceManager {
                     }
                 }
             }
+        }
+        // A commit without additions or removals leaves every index and
+        // agent untouched — only structural change advances the generation
+        // (delta checkpoints skip the agent section on an unchanged
+        // generation, so a no-op commit must not invalidate it).
+        if stats.added > 0 || stats.removed > 0 {
+            self.generation += 1;
         }
         stats
     }
@@ -456,7 +490,7 @@ fn parallel_append(
                 unsafe {
                     agents_ptr.write(base + j, agent);
                     flags_ptr.write(base + j, StaticFlags::new(iteration));
-                    viol_ptr.write(base + j, AtomicBool::new(false));
+                    viol_ptr.write(base + j, AtomicU8::new(0));
                 }
             }
         });
@@ -509,17 +543,44 @@ impl PointCloud for ResourceManagerCloud<'_> {
 
 // Violation-flag helpers used by the mechanics operation.
 impl ResourceManager {
-    /// Marks agent `(domain, local)` as having a static-detection violation
-    /// (set by neighbors; paper Section 5 "sets the affected agents to not
-    /// static").
+    /// Marks agent `(domain, local)` as having a pending static-detection
+    /// violation (paper Section 5 "sets the affected agents to not static").
+    /// Restore API: the flag becomes visible to the *next* mechanics pass,
+    /// exactly like a flag promoted at the end of the previous iteration.
     #[inline]
     pub fn raise_violation(&self, domain: usize, local: usize) {
-        self.domains[domain].violations[local].store(true, Ordering::Relaxed);
+        self.domains[domain].violations[local].store(VIOL_CUR, Ordering::Relaxed);
     }
 
-    /// Consumes the violation flag of an agent.
+    /// Consumes the pending violation flag of an agent.
     #[inline]
     pub fn take_violation(&self, domain: usize, local: usize) -> bool {
-        self.domains[domain].violations[local].swap(false, Ordering::Relaxed)
+        let prev = self.domains[domain].violations[local].fetch_and(!VIOL_CUR, Ordering::Relaxed);
+        prev & VIOL_CUR != 0
+    }
+
+    /// Reads the pending violation flag of an agent **without** consuming it
+    /// (checkpointing: the flag is cross-iteration state — raised by moving
+    /// neighbors in iteration *k*, consumed by the mechanics pass of
+    /// *k* + 1 — so it must be serialized intact).
+    #[inline]
+    pub fn violation(&self, domain: usize, local: usize) -> bool {
+        self.domains[domain].violations[local].load(Ordering::Relaxed) & VIOL_CUR != 0
+    }
+
+    /// Shifts every violation raised during the just-finished agent pass
+    /// ([`VIOL_NEXT`]) into the pending position ([`VIOL_CUR`]) and clears
+    /// pending flags nobody consumed. Runs once per iteration, after the
+    /// parallel agent phase — never concurrently with raises or takes.
+    pub(crate) fn promote_violations(&self) {
+        for store in &self.domains {
+            for v in &store.violations {
+                let bits = v.load(Ordering::Relaxed);
+                if bits != 0 {
+                    let promoted = if bits & VIOL_NEXT != 0 { VIOL_CUR } else { 0 };
+                    v.store(promoted, Ordering::Relaxed);
+                }
+            }
+        }
     }
 }

@@ -289,6 +289,11 @@ pub struct Scheduler {
     detached: bool,
     /// Edits requested from inside a running operation.
     deferred: Vec<DeferredEdit>,
+    /// [`OpInfo`] snapshot of the pipeline captured when the op list was
+    /// last detached: while an iteration runs, `entries` is empty, so
+    /// introspection from *inside* an operation (the mid-window checkpoint)
+    /// reads this instead of [`Scheduler::ops`].
+    pipeline_info: Vec<OpInfo>,
 }
 
 impl Scheduler {
@@ -423,7 +428,11 @@ impl Scheduler {
 
     /// Introspection snapshot of every operation, in execution order.
     pub fn ops(&self) -> Vec<OpInfo> {
-        self.entries
+        Scheduler::infos(&self.entries)
+    }
+
+    fn infos(entries: &[ScheduledOp]) -> Vec<OpInfo> {
+        entries
             .iter()
             .map(|e| OpInfo {
                 name: e.op.name().to_string(),
@@ -434,6 +443,25 @@ impl Scheduler {
                 runs: e.runs,
             })
             .collect()
+    }
+
+    /// The pipeline as it stood when the current iteration started. Outside
+    /// an iteration this equals [`Scheduler::ops`]; *inside* one (the op
+    /// list is detached and `ops()` sees only operations registered during
+    /// the iteration) it reports the pre-iteration snapshot — the view a
+    /// mid-window checkpoint must serialize.
+    pub fn pipeline_info(&self) -> Vec<OpInfo> {
+        if self.detached {
+            self.pipeline_info.clone()
+        } else {
+            self.ops()
+        }
+    }
+
+    /// True while the op list is detached, i.e. the scheduler is currently
+    /// running an iteration and the caller sits inside an operation.
+    pub fn mid_iteration(&self) -> bool {
+        self.detached
     }
 
     /// Operation names in execution order.
@@ -577,6 +605,7 @@ impl Scheduler {
     /// [`Scheduler::put_entries`]).
     pub(crate) fn take_entries(&mut self) -> Vec<ScheduledOp> {
         self.detached = true;
+        self.pipeline_info = Scheduler::infos(&self.entries);
         std::mem::take(&mut self.entries)
     }
 

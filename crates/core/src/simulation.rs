@@ -207,6 +207,77 @@ impl Simulation {
         self.force = force;
     }
 
+    /// The interaction force model in use.
+    pub fn force(&self) -> InteractionForce {
+        self.force
+    }
+
+    /// The seed feeding every per-(agent, iteration) RNG stream.
+    pub fn rng_seed(&self) -> u64 {
+        self.param.seed
+    }
+
+    /// Re-seeds the simulation's RNG streams. Agent RNGs are stateless —
+    /// derived per (seed, uid, iteration) — so the new seed takes effect
+    /// from the next iteration; checkpoint restore and the property-test
+    /// harness use this instead of reaching into `Param`.
+    pub fn set_rng_seed(&mut self, seed: u64) {
+        self.param.seed = seed;
+    }
+
+    /// Highest uid issued so far (restore API: uid issuance must resume
+    /// exactly where the checkpointed run stood).
+    pub fn uid_counter(&self) -> u64 {
+        self.uid_counter
+    }
+
+    /// Overwrites the uid counter (restore API).
+    pub fn set_uid_counter(&mut self, v: u64) {
+        self.uid_counter = v;
+    }
+
+    /// Overwrites the iteration counter (restore API: the next
+    /// [`Simulation::step`] runs iteration `iteration + 1`).
+    pub fn set_iteration(&mut self, iteration: u64) {
+        self.iteration = iteration;
+    }
+
+    /// Round-robin cursor of [`Simulation::add_agent`] (restore API: agents
+    /// added after a restore must land on the same domains as in the
+    /// original run).
+    pub fn init_cursor(&self) -> usize {
+        self.init_round_robin
+    }
+
+    /// Overwrites the round-robin cursor (restore API).
+    pub fn set_init_cursor(&mut self, v: usize) {
+        self.init_round_robin = v;
+    }
+
+    /// Number of registered diffusion grids.
+    pub fn num_diffusion_grids(&self) -> usize {
+        self.diffusion.len()
+    }
+
+    /// Inserts a deserialized agent into a **specific** domain with its
+    /// static-detection sidecar (restore path: placement must reproduce the
+    /// checkpointed run exactly, so round-robin balancing is bypassed).
+    pub fn restore_agent<A: Agent + 'static>(
+        &mut self,
+        domain: usize,
+        agent: A,
+        flags: crate::resource_manager::StaticFlags,
+        violation: bool,
+    ) -> AgentHandle {
+        let boxed = new_agent_box(agent, &self.mm, domain);
+        let h = self.rm.push(domain, boxed, flags.created_iter);
+        self.rm.set_static_flags(h, flags);
+        if violation {
+            self.rm.raise_violation(domain, h.index as usize);
+        }
+        h
+    }
+
     /// Issues a fresh uid for model initialization.
     pub fn new_uid(&mut self) -> AgentUid {
         self.uid_counter += 1;
@@ -513,6 +584,18 @@ impl Simulation {
     pub(crate) fn phase_agent_ops(&mut self) {
         if self.rm.num_agents() > 0 {
             self.run_agent_ops(self.step_radius);
+            if self.param.detect_static_agents {
+                // Make the violations raised during this pass visible to the
+                // next one. Doing the shift here — after the parallel pass,
+                // before anything else observes the flags — keeps wake-ups
+                // scheduling-independent (see `VIOL_CUR`).
+                self.rm.promote_violations();
+            }
+            // Behaviors and mechanics mutate agents in place; advance the
+            // structural generation so state observers (delta checkpoints)
+            // see the population as changed. Runs after the environment
+            // rebuild, so the snapshot-freshness equality is unaffected.
+            self.rm.generation += 1;
         }
     }
 

@@ -18,7 +18,7 @@
 //! freed immediately after its copy is made (paper Section 4.2, last
 //! paragraph of the algorithm description).
 
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::AtomicU8;
 
 use bdm_alloc::MemoryManager;
 use bdm_env::UniformGridEnvironment;
@@ -127,7 +127,7 @@ pub(crate) fn sort_and_balance(
         .iter_mut()
         .map(|store| std::mem::take(&mut store.flags))
         .collect();
-    let old_violations: Vec<Vec<AtomicBool>> = rm
+    let old_violations: Vec<Vec<AtomicU8>> = rm
         .domains
         .iter_mut()
         .map(|store| std::mem::take(&mut store.violations))
@@ -167,7 +167,7 @@ pub(crate) fn sort_and_balance(
             .iter_mut()
             .map(|s| SendMut::new(s.flags.as_mut_ptr()))
             .collect();
-        let viol_ptrs: Vec<SendMut<AtomicBool>> = new_stores
+        let viol_ptrs: Vec<SendMut<AtomicU8>> = new_stores
             .iter_mut()
             .map(|s| SendMut::new(s.violations.as_mut_ptr()))
             .collect();
@@ -203,7 +203,7 @@ pub(crate) fn sort_and_balance(
                     flag_ptrs[domain].write(k, old_flags[od][oi]);
                     viol_ptrs[domain].write(
                         k,
-                        AtomicBool::new(
+                        AtomicU8::new(
                             old_violations[od][oi].load(std::sync::atomic::Ordering::Relaxed),
                         ),
                     );

@@ -1,0 +1,286 @@
+//! Differential-conformance test support.
+//!
+//! The checkpoint-replay, determinism, and cross-backend suites all need the
+//! same two primitives: capture "everything step-relevant" from a running
+//! [`Simulation`] into a comparable value, and — when two captures differ —
+//! name the *first* diverging agent instead of dumping two megabyte-sized
+//! structures. This module is the single definition of that state so the
+//! test suites and the checkpoint crate cannot drift apart.
+//!
+//! Two comparison modes:
+//!
+//! * [`first_divergence`] — **bitwise**: every float is compared by its bit
+//!   pattern. This is the contract checkpoint restore must meet (restore →
+//!   step N ≡ straight-run step N, exactly).
+//! * [`first_divergence_within`] — **tolerance**: different environment
+//!   backends enumerate neighbors in different orders, so force summation
+//!   order (and hence the last few mantissa bits) legitimately differs.
+//!   Discrete state (uid sets, payloads, type tags, counts) must still match
+//!   exactly; positions and diameters may differ by a small epsilon.
+
+use std::collections::BTreeMap;
+
+use crate::simulation::Simulation;
+
+/// Step-relevant state of one agent, floats as raw bit patterns.
+///
+/// Deliberately excludes the agent's NUMA domain: a newborn agent lands on
+/// the domain of whichever work-stealing worker ran its parent, so placement
+/// is scheduling-dependent even between two identical straight runs. The
+/// engine's determinism contract (and therefore this record) covers agent
+/// *state*, which is placement-independent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentRecord {
+    /// Position, each coordinate as `f64::to_bits`.
+    pub position: [u64; 3],
+    /// Diameter as `f64::to_bits`.
+    pub diameter: u64,
+    /// Payload word (type/state encoding, readable by neighbors).
+    pub payload: u64,
+    /// The agent's [`checkpoint_tag`](crate::Agent::checkpoint_tag).
+    pub tag: String,
+    /// Type-specific state from [`checkpoint_write`](crate::Agent::checkpoint_write).
+    pub body: Vec<u8>,
+    /// Per-behavior `(checkpoint_tag-or-name, checkpoint_write bytes)`.
+    pub behaviors: Vec<(String, Vec<u8>)>,
+    /// Static-region detection flag (Section 5).
+    pub is_static: bool,
+    /// Iteration the agent was committed in.
+    pub created_iter: u64,
+    /// Pending displacement-violation flag (consumed next iteration).
+    pub violation: bool,
+}
+
+/// Bitwise state of one diffusion grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridRecord {
+    /// Substance name.
+    pub name: String,
+    /// Boxes per dimension.
+    pub resolution: usize,
+    /// Concentrations as `f64::to_bits`, x fastest.
+    pub concentrations: Vec<u64>,
+}
+
+/// Everything step-relevant, captured from a simulation at rest
+/// (between [`Simulation::step`] calls).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimFingerprint {
+    /// Completed iterations.
+    pub iteration: u64,
+    /// Next agent uid to be handed out.
+    pub uid_counter: u64,
+    /// Agents keyed by uid.
+    pub agents: BTreeMap<u64, AgentRecord>,
+    /// Diffusion grids in registration order.
+    pub grids: Vec<GridRecord>,
+}
+
+/// Captures the step-relevant state of `sim`.
+pub fn fingerprint(sim: &Simulation) -> SimFingerprint {
+    let rm = sim.resource_manager();
+    let mut agents = BTreeMap::new();
+    sim.for_each_agent(|h, a| {
+        let p = a.position();
+        let mut body = bdm_util::ByteWriter::new();
+        a.checkpoint_write(&mut body);
+        let behaviors = a
+            .base()
+            .behaviors()
+            .iter()
+            .map(|b| {
+                let mut bytes = bdm_util::ByteWriter::new();
+                b.checkpoint_write(&mut bytes);
+                let tag = b.checkpoint_tag();
+                let tag = if tag.is_empty() { b.name() } else { tag };
+                (tag.to_string(), bytes.into_bytes())
+            })
+            .collect();
+        let flags = rm.static_flags(h);
+        agents.insert(
+            a.uid().0,
+            AgentRecord {
+                position: [p.x().to_bits(), p.y().to_bits(), p.z().to_bits()],
+                diameter: a.diameter().to_bits(),
+                payload: a.payload(),
+                tag: a.checkpoint_tag().to_string(),
+                body: body.into_bytes(),
+                behaviors,
+                is_static: flags.is_static,
+                created_iter: flags.created_iter,
+                violation: rm.violation(h.domain as usize, h.index as usize),
+            },
+        );
+    });
+    let grids = (0..sim.num_diffusion_grids())
+        .map(|i| {
+            let g = sim.diffusion_grid(i);
+            GridRecord {
+                name: g.name().to_string(),
+                resolution: g.resolution(),
+                concentrations: g.concentrations().iter().map(|c| c.to_bits()).collect(),
+            }
+        })
+        .collect();
+    SimFingerprint {
+        iteration: sim.iteration(),
+        uid_counter: sim.uid_counter(),
+        agents,
+        grids,
+    }
+}
+
+/// Bitwise comparison: returns a description of the first divergence between
+/// `a` and `b` (naming the first diverging agent uid and field), or `None`
+/// when the fingerprints are identical.
+pub fn first_divergence(a: &SimFingerprint, b: &SimFingerprint) -> Option<String> {
+    if a.iteration != b.iteration {
+        return Some(format!("iteration: {} vs {}", a.iteration, b.iteration));
+    }
+    if a.uid_counter != b.uid_counter {
+        return Some(format!(
+            "uid_counter: {} vs {}",
+            a.uid_counter, b.uid_counter
+        ));
+    }
+    if let Some(d) = uid_set_divergence(a, b) {
+        return Some(d);
+    }
+    for (idx, (uid, ra)) in a.agents.iter().enumerate() {
+        let rb = &b.agents[uid];
+        if ra != rb {
+            let field = if ra.position != rb.position {
+                format!(
+                    "position {:?} vs {:?}",
+                    decode3(ra.position),
+                    decode3(rb.position)
+                )
+            } else if ra.diameter != rb.diameter {
+                format!(
+                    "diameter {} vs {}",
+                    f64::from_bits(ra.diameter),
+                    f64::from_bits(rb.diameter)
+                )
+            } else if ra.payload != rb.payload {
+                format!("payload {} vs {}", ra.payload, rb.payload)
+            } else if ra.body != rb.body {
+                format!("agent body bytes {:?} vs {:?}", ra.body, rb.body)
+            } else if ra.behaviors != rb.behaviors {
+                format!("behaviors {:?} vs {:?}", ra.behaviors, rb.behaviors)
+            } else {
+                format!("{ra:?} vs {rb:?}")
+            };
+            return Some(format!("agent #{idx} uid {uid}: {field}"));
+        }
+    }
+    grid_divergence(a, b, 0.0)
+}
+
+/// Tolerance comparison for cross-backend runs: discrete state must match
+/// exactly; positions, diameters, and concentrations may differ by `tol`.
+/// Returns a description of the first divergence (agent index and uid), or
+/// `None` if the states agree.
+pub fn first_divergence_within(a: &SimFingerprint, b: &SimFingerprint, tol: f64) -> Option<String> {
+    if a.iteration != b.iteration {
+        return Some(format!("iteration: {} vs {}", a.iteration, b.iteration));
+    }
+    if let Some(d) = uid_set_divergence(a, b) {
+        return Some(d);
+    }
+    for (idx, (uid, ra)) in a.agents.iter().enumerate() {
+        let rb = &b.agents[uid];
+        if ra.payload != rb.payload {
+            return Some(format!(
+                "agent #{idx} uid {uid}: payload {} vs {}",
+                ra.payload, rb.payload
+            ));
+        }
+        if ra.tag != rb.tag {
+            return Some(format!(
+                "agent #{idx} uid {uid}: type {:?} vs {:?}",
+                ra.tag, rb.tag
+            ));
+        }
+        let pa = decode3(ra.position);
+        let pb = decode3(rb.position);
+        for axis in 0..3 {
+            if (pa[axis] - pb[axis]).abs() > tol {
+                return Some(format!(
+                    "agent #{idx} uid {uid}: position[{axis}] {} vs {} (tol {tol})",
+                    pa[axis], pb[axis]
+                ));
+            }
+        }
+        let da = f64::from_bits(ra.diameter);
+        let db = f64::from_bits(rb.diameter);
+        if (da - db).abs() > tol {
+            return Some(format!(
+                "agent #{idx} uid {uid}: diameter {da} vs {db} (tol {tol})"
+            ));
+        }
+    }
+    grid_divergence(a, b, tol)
+}
+
+fn uid_set_divergence(a: &SimFingerprint, b: &SimFingerprint) -> Option<String> {
+    if a.agents.len() != b.agents.len() {
+        return Some(format!(
+            "agent count: {} vs {}",
+            a.agents.len(),
+            b.agents.len()
+        ));
+    }
+    for (idx, (ua, ub)) in a.agents.keys().zip(b.agents.keys()).enumerate() {
+        if ua != ub {
+            return Some(format!("agent #{idx}: uid {ua} vs {ub}"));
+        }
+    }
+    None
+}
+
+fn grid_divergence(a: &SimFingerprint, b: &SimFingerprint, tol: f64) -> Option<String> {
+    if a.grids.len() != b.grids.len() {
+        return Some(format!(
+            "grid count: {} vs {}",
+            a.grids.len(),
+            b.grids.len()
+        ));
+    }
+    for (g, (ga, gb)) in a.grids.iter().zip(&b.grids).enumerate() {
+        if ga.name != gb.name || ga.resolution != gb.resolution {
+            return Some(format!(
+                "grid #{g}: ({}, {}) vs ({}, {})",
+                ga.name, ga.resolution, gb.name, gb.resolution
+            ));
+        }
+        for (i, (ca, cb)) in ga.concentrations.iter().zip(&gb.concentrations).enumerate() {
+            let va = f64::from_bits(*ca);
+            let vb = f64::from_bits(*cb);
+            let differs = if tol == 0.0 {
+                ca != cb
+            } else {
+                (va - vb).abs() > tol
+            };
+            if differs {
+                return Some(format!("grid #{g} ({}) box {i}: {va} vs {vb}", ga.name));
+            }
+        }
+    }
+    None
+}
+
+fn decode3(bits: [u64; 3]) -> [f64; 3] {
+    [
+        f64::from_bits(bits[0]),
+        f64::from_bits(bits[1]),
+        f64::from_bits(bits[2]),
+    ]
+}
+
+/// Panics with the first divergence if `a` and `b` are not bitwise
+/// identical; `context` names the comparison in the panic message.
+pub fn assert_identical(a: &SimFingerprint, b: &SimFingerprint, context: &str) {
+    if let Some(d) = first_divergence(a, b) {
+        panic!("{context}: states diverge — {d}");
+    }
+}

@@ -51,6 +51,10 @@ pub struct DiffusionGrid {
     c: Vec<f64>,
     /// Double buffer for the stencil sweep.
     c_next: Vec<f64>,
+    /// Bumped on every concentration change (secretion, solver step,
+    /// wholesale overwrite) — delta checkpoints compare versions to skip
+    /// serializing an unchanged grid.
+    version: u64,
 }
 
 impl DiffusionGrid {
@@ -79,6 +83,7 @@ impl DiffusionGrid {
             inv_box_length: resolution as f64 / edge,
             c: vec![0.0; n],
             c_next: vec![0.0; n],
+            version: 0,
         }
     }
 
@@ -91,6 +96,39 @@ impl DiffusionGrid {
     /// Substance name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Diffusion coefficient `D`.
+    pub fn diffusion_coefficient(&self) -> f64 {
+        self.diffusion_coefficient
+    }
+
+    /// Decay constant `μ`.
+    pub fn decay_constant(&self) -> f64 {
+        self.decay_constant
+    }
+
+    /// The active boundary condition.
+    pub fn boundary(&self) -> BoundaryCondition {
+        self.boundary
+    }
+
+    /// Lower corner of the cubic domain.
+    pub fn domain_min(&self) -> Real3 {
+        self.min
+    }
+
+    /// Concentration-change counter (see the field docs): strictly
+    /// monotonic over secretions, solver steps, and overwrites.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Overwrites the change counter (checkpoint restore, applied after
+    /// [`DiffusionGrid::set_concentrations`] so a restored grid continues
+    /// the original's version sequence).
+    pub fn set_version(&mut self, version: u64) {
+        self.version = version;
     }
 
     /// Boxes per axis.
@@ -136,6 +174,7 @@ impl DiffusionGrid {
     pub fn increase_concentration(&mut self, pos: Real3, amount: f64) {
         let i = self.box_index(pos);
         self.c[i] += amount;
+        self.version += 1;
     }
 
     /// Central-difference concentration gradient at `pos`
@@ -188,6 +227,7 @@ impl DiffusionGrid {
         for _ in 0..substeps {
             self.substep(sub_dt);
         }
+        self.version += 1;
     }
 
     /// One FTCS update, parallel over z-slices.
@@ -248,6 +288,23 @@ impl DiffusionGrid {
     /// Direct read-only access to the concentration values.
     pub fn concentrations(&self) -> &[f64] {
         &self.c
+    }
+
+    /// Overwrites every concentration (checkpoint restore; also handy for
+    /// initializing analytic profiles). The values are adopted bitwise —
+    /// a restored grid steps exactly like the original.
+    ///
+    /// # Panics
+    /// If `values.len() != resolution³`.
+    pub fn set_concentrations(&mut self, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.c.len(),
+            "expected resolution³ = {} values",
+            self.c.len()
+        );
+        self.c.copy_from_slice(values);
+        self.version += 1;
     }
 
     /// Approximate heap footprint.

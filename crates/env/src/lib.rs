@@ -130,6 +130,8 @@ pub enum EnvironmentKind {
     KdTree,
     /// Octree (Behley et al. stand-in).
     Octree,
+    /// O(n²) brute force — the differential-testing reference backend.
+    Brute,
 }
 
 impl EnvironmentKind {
@@ -139,8 +141,41 @@ impl EnvironmentKind {
             EnvironmentKind::UniformGrid => Box::new(UniformGridEnvironment::new()),
             EnvironmentKind::KdTree => Box::new(KdTreeEnvironment::new()),
             EnvironmentKind::Octree => Box::new(OctreeEnvironment::new()),
+            EnvironmentKind::Brute => Box::new(BruteForceEnvironment::new()),
         }
     }
+
+    /// Stable wire code used by the checkpoint format. Codes are append-only:
+    /// existing values never change meaning across engine versions.
+    pub fn code(self) -> u8 {
+        match self {
+            EnvironmentKind::UniformGrid => 0,
+            EnvironmentKind::KdTree => 1,
+            EnvironmentKind::Octree => 2,
+            EnvironmentKind::Brute => 3,
+        }
+    }
+
+    /// Inverse of [`EnvironmentKind::code`]; `None` for unknown codes
+    /// (e.g. a checkpoint written by a newer engine).
+    pub fn from_code(code: u8) -> Option<EnvironmentKind> {
+        match code {
+            0 => Some(EnvironmentKind::UniformGrid),
+            1 => Some(EnvironmentKind::KdTree),
+            2 => Some(EnvironmentKind::Octree),
+            3 => Some(EnvironmentKind::Brute),
+            _ => None,
+        }
+    }
+
+    /// All backends, in wire-code order — the differential suites iterate
+    /// this instead of hard-coding the list.
+    pub const ALL: [EnvironmentKind; 4] = [
+        EnvironmentKind::UniformGrid,
+        EnvironmentKind::KdTree,
+        EnvironmentKind::Octree,
+        EnvironmentKind::Brute,
+    ];
 }
 
 /// Engine-supplied context for one [`Environment::update_with`] call.

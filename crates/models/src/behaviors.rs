@@ -39,6 +39,9 @@ impl Behavior for GrowthDivision {
     fn name(&self) -> &'static str {
         "GrowthDivision"
     }
+    fn checkpoint_tag(&self) -> &'static str {
+        "models.GrowthDivision"
+    }
 }
 
 /// Secretes `amount` of substance `grid` at the agent position each step.
@@ -65,6 +68,13 @@ impl Behavior for Secretion {
     }
     fn name(&self) -> &'static str {
         "Secretion"
+    }
+    fn checkpoint_tag(&self) -> &'static str {
+        "models.Secretion"
+    }
+    fn checkpoint_write(&self, out: &mut bdm_util::ByteWriter) {
+        out.put_u64(self.grid as u64);
+        out.put_f64(self.amount);
     }
 }
 
@@ -97,6 +107,13 @@ impl Behavior for Chemotaxis {
     fn name(&self) -> &'static str {
         "Chemotaxis"
     }
+    fn checkpoint_tag(&self) -> &'static str {
+        "models.Chemotaxis"
+    }
+    fn checkpoint_write(&self, out: &mut bdm_util::ByteWriter) {
+        out.put_u64(self.grid as u64);
+        out.put_f64(self.speed);
+    }
 }
 
 /// Random walk with large jumps, confined to a cubic domain
@@ -127,6 +144,14 @@ impl Behavior for RandomWalk {
     }
     fn name(&self) -> &'static str {
         "RandomWalk"
+    }
+    fn checkpoint_tag(&self) -> &'static str {
+        "models.RandomWalk"
+    }
+    fn checkpoint_write(&self, out: &mut bdm_util::ByteWriter) {
+        out.put_f64(self.step);
+        out.put_f64(self.min);
+        out.put_f64(self.max);
     }
 }
 
@@ -170,5 +195,12 @@ impl Behavior for TypeAdhesion {
     }
     fn name(&self) -> &'static str {
         "TypeAdhesion"
+    }
+    fn checkpoint_tag(&self) -> &'static str {
+        "models.TypeAdhesion"
+    }
+    fn checkpoint_write(&self, out: &mut bdm_util::ByteWriter) {
+        out.put_f64(self.radius);
+        out.put_f64(self.speed);
     }
 }

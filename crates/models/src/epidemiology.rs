@@ -34,6 +34,16 @@ impl SirState {
             SirState::Recovered => 2,
         }
     }
+
+    /// Inverse of [`SirState::payload`] (checkpoint restore).
+    pub fn from_payload(code: u64) -> Option<SirState> {
+        match code {
+            0 => Some(SirState::Susceptible),
+            1 => Some(SirState::Infected),
+            2 => Some(SirState::Recovered),
+            _ => None,
+        }
+    }
 }
 
 /// A person in the epidemiological model.
@@ -69,6 +79,21 @@ impl Person {
     pub fn state(&self) -> SirState {
         self.state
     }
+
+    /// Sets the disease state (checkpoint restore).
+    pub fn set_state(&mut self, s: SirState) {
+        self.state = s;
+    }
+
+    /// Iteration at which the person became infected (0 if never).
+    pub fn infected_since(&self) -> u64 {
+        self.infected_since
+    }
+
+    /// Sets the infection timestamp (checkpoint restore).
+    pub fn set_infected_since(&mut self, iteration: u64) {
+        self.infected_since = iteration;
+    }
 }
 
 impl CloneIn for Person {
@@ -93,6 +118,13 @@ impl Agent for Person {
     }
     fn participates_in_mechanics(&self) -> bool {
         false // persons pass through each other; movement is behavioral
+    }
+    fn checkpoint_tag(&self) -> &'static str {
+        "models.Person"
+    }
+    fn checkpoint_write(&self, out: &mut bdm_util::ByteWriter) {
+        out.put_u8(self.state.payload() as u8);
+        out.put_u64(self.infected_since);
     }
     fn clone_box(&self, mm: &MemoryManager, domain: usize) -> AgentBox {
         clone_agent_box(self, mm, domain)
@@ -153,6 +185,14 @@ impl Behavior for Infection {
     }
     fn name(&self) -> &'static str {
         "Infection"
+    }
+    fn checkpoint_tag(&self) -> &'static str {
+        "models.Infection"
+    }
+    fn checkpoint_write(&self, out: &mut bdm_util::ByteWriter) {
+        out.put_f64(self.radius);
+        out.put_f64(self.transmission_probability);
+        out.put_u64(self.recovery_iterations);
     }
 }
 

@@ -31,10 +31,10 @@ pub use behaviors::{Chemotaxis, GrowthDivision, RandomWalk, Secretion, TypeAdhes
 pub use cell_sorting::CellSorting;
 pub use characteristics::Characteristics;
 pub use clustering::CellClustering;
-pub use epidemiology::{Epidemiology, Person, SirState};
+pub use epidemiology::{Epidemiology, Infection, Person, SirState};
 pub use metrics::{positions_of, same_type_neighbor_fraction};
 pub use neuroscience::Neuroscience;
-pub use oncology::Oncology;
+pub use oncology::{Oncology, TumorGrowth};
 pub use proliferation::CellProliferation;
 
 /// A benchmark simulation of the paper's evaluation.

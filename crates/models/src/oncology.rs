@@ -59,6 +59,14 @@ impl Behavior for TumorGrowth {
     fn name(&self) -> &'static str {
         "TumorGrowth"
     }
+    fn checkpoint_tag(&self) -> &'static str {
+        "models.TumorGrowth"
+    }
+    fn checkpoint_write(&self, out: &mut bdm_util::ByteWriter) {
+        out.put_f64(self.crowding_radius);
+        out.put_u64(self.crowding_limit as u64);
+        out.put_f64(self.death_probability);
+    }
 }
 
 /// The oncology benchmark (tumor spheroid growth).

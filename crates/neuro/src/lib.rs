@@ -93,6 +93,9 @@ impl Agent for NeuronSoma {
     fn payload(&self) -> u64 {
         PAYLOAD_SOMA
     }
+    fn checkpoint_tag(&self) -> &'static str {
+        "neuro.NeuronSoma"
+    }
     fn clone_box(&self, mm: &MemoryManager, domain: usize) -> AgentBox {
         clone_agent_box(self, mm, domain)
     }
@@ -166,9 +169,22 @@ impl NeuriteElement {
         self.terminal
     }
 
+    /// Marks the element terminal (growth front) or interior. Growth flips
+    /// this itself during discretization; checkpoint restore uses the setter
+    /// to rebuild an element mid-tree.
+    pub fn set_terminal(&mut self, terminal: bool) {
+        self.terminal = terminal;
+    }
+
     /// Number of bifurcations between the soma and this element.
     pub fn branch_order(&self) -> u32 {
         self.branch_order
+    }
+
+    /// Sets the bifurcation depth (checkpoint restore; [`NeuriteElement::new`]
+    /// always starts at 0).
+    pub fn set_branch_order(&mut self, order: u32) {
+        self.branch_order = order;
     }
 
     /// Uid of the soma this neurite belongs to.
@@ -205,6 +221,25 @@ impl Agent for NeuriteElement {
     }
     fn payload(&self) -> u64 {
         PAYLOAD_NEURITE
+    }
+    fn checkpoint_tag(&self) -> &'static str {
+        "neuro.NeuriteElement"
+    }
+    fn checkpoint_write(&self, out: &mut bdm_util::ByteWriter) {
+        out.put_real3(self.proximal);
+        out.put_u64(self.soma.0);
+        match self.parent {
+            Some(p) => {
+                out.put_u8(1);
+                out.put_u64(p.0);
+            }
+            None => {
+                out.put_u8(0);
+                out.put_u64(0);
+            }
+        }
+        out.put_u8(u8::from(self.terminal));
+        out.put_u32(self.branch_order);
     }
     fn clone_box(&self, mm: &MemoryManager, domain: usize) -> AgentBox {
         clone_agent_box(self, mm, domain)
@@ -333,6 +368,29 @@ impl Behavior for GrowthCone {
 
     fn name(&self) -> &'static str {
         "GrowthCone"
+    }
+
+    fn checkpoint_tag(&self) -> &'static str {
+        "neuro.GrowthCone"
+    }
+
+    fn checkpoint_write(&self, out: &mut bdm_util::ByteWriter) {
+        out.put_f64(self.speed);
+        out.put_f64(self.deviation);
+        out.put_f64(self.max_segment_length);
+        out.put_f64(self.branch_probability);
+        out.put_u32(self.max_branch_order);
+        match self.guidance_substance {
+            Some(g) => {
+                out.put_u8(1);
+                out.put_u64(g as u64);
+            }
+            None => {
+                out.put_u8(0);
+                out.put_u64(0);
+            }
+        }
+        out.put_f64(self.guidance_weight);
     }
 }
 

@@ -1,0 +1,276 @@
+//! Minimal binary serialization primitives for the checkpoint subsystem.
+//!
+//! Everything is little-endian and fixed-width; floating-point values travel
+//! as their IEEE-754 bit patterns ([`f64::to_bits`]) so a write→read
+//! round-trip is bitwise exact — the property the checkpoint conformance
+//! harness (`tests/checkpoint_replay.rs`) is built on. The reader never
+//! panics on malformed input: every `take_*` returns a [`ReadError`] carrying
+//! the offset where the buffer ran out, which the checkpoint layer converts
+//! into its typed, section-naming errors.
+
+use crate::real3::Real3;
+
+/// Error returned when a [`ByteReader`] runs out of bytes mid-value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadError {
+    /// Byte offset at which the read was attempted.
+    pub offset: usize,
+    /// Bytes the value needed.
+    pub needed: usize,
+    /// Bytes actually left in the buffer.
+    pub available: usize,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "truncated input at offset {}: needed {} bytes, {} available",
+            self.offset, self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Growable little-endian byte sink.
+#[derive(Debug, Default, Clone)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The accumulated bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (bitwise exact).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends a [`Real3`] as three bit-exact `f64`s.
+    pub fn put_real3(&mut self, v: Real3) {
+        self.put_f64(v.x());
+        self.put_f64(v.y());
+        self.put_f64(v.z());
+    }
+
+    /// Appends raw bytes without a length prefix.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a UTF-8 string as `u32` length + bytes.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+}
+
+/// Cursor over a byte slice; every read is bounds-checked and returns
+/// [`ReadError`] instead of panicking on truncation.
+#[derive(Debug, Clone, Copy)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Current byte offset from the start of the buffer.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True if every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ReadError> {
+        if self.remaining() < n {
+            return Err(ReadError {
+                offset: self.pos,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, ReadError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, ReadError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, ReadError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern (bitwise exact).
+    pub fn take_f64(&mut self) -> Result<f64, ReadError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a [`Real3`] written by [`ByteWriter::put_real3`].
+    pub fn take_real3(&mut self) -> Result<Real3, ReadError> {
+        let x = self.take_f64()?;
+        let y = self.take_f64()?;
+        let z = self.take_f64()?;
+        Ok(Real3::new(x, y, z))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8], ReadError> {
+        self.take(n)
+    }
+
+    /// Reads a string written by [`ByteWriter::put_str`]. Invalid UTF-8 is
+    /// reported as a truncation-style error at the string's offset (the
+    /// checkpoint layer treats any malformed payload identically).
+    pub fn take_str(&mut self) -> Result<String, ReadError> {
+        let offset = self.pos;
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ReadError {
+            offset,
+            needed: len,
+            available: len,
+        })
+    }
+}
+
+/// FNV-1a 64-bit hash — the checkpoint format's section checksum. Not
+/// cryptographic; it detects truncation and bit corruption, which is all the
+/// failure-injection contract asks of it.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_types() {
+        let mut w = ByteWriter::new();
+        w.put_u8(0xab);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_f64(f64::NAN);
+        w.put_real3(Real3::new(1.5, -2.25, 3.125));
+        w.put_str("checkpoint");
+        w.put_bytes(&[1, 2, 3]);
+
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 0xab);
+        assert_eq!(r.take_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.take_f64().unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(r.take_real3().unwrap(), Real3::new(1.5, -2.25, 3.125));
+        assert_eq!(r.take_str().unwrap(), "checkpoint");
+        assert_eq!(r.take_bytes(3).unwrap(), &[1, 2, 3]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = [1u8, 2, 3];
+        let mut r = ByteReader::new(&bytes);
+        let err = r.take_u64().unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert_eq!(err.needed, 8);
+        assert_eq!(err.available, 3);
+        // The failed read consumed nothing.
+        assert_eq!(r.remaining(), 3);
+    }
+
+    #[test]
+    fn truncated_string_is_an_error() {
+        let mut w = ByteWriter::new();
+        w.put_str("hello");
+        let mut bytes = w.into_bytes();
+        bytes.truncate(bytes.len() - 2);
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.take_str().is_err());
+    }
+
+    #[test]
+    fn fnv_detects_single_bit_flips() {
+        let data = b"the quick brown fox";
+        let base = fnv1a64(data);
+        let mut copy = data.to_vec();
+        for byte in 0..copy.len() {
+            for bit in 0..8 {
+                copy[byte] ^= 1 << bit;
+                assert_ne!(fnv1a64(&copy), base, "flip at {byte}:{bit}");
+                copy[byte] ^= 1 << bit;
+            }
+        }
+        assert_eq!(fnv1a64(&copy), base);
+    }
+}

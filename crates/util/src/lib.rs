@@ -8,6 +8,7 @@
 //! Everything in this crate is dependency-light and engine-agnostic; the
 //! simulation crates build on top of it.
 
+pub mod io;
 pub mod memory;
 pub mod prefix_sum;
 pub mod real3;
@@ -17,6 +18,7 @@ pub mod stats;
 pub mod table;
 pub mod timing;
 
+pub use io::{fnv1a64, ByteReader, ByteWriter, ReadError};
 pub use memory::{format_bytes, peak_rss_bytes, rss_bytes};
 pub use prefix_sum::{inclusive_prefix_sum_parallel, prefix_sum_exclusive, prefix_sum_inclusive};
 pub use real3::Real3;

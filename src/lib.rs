@@ -19,6 +19,7 @@
 //! | [`neuro`](mod@neuro) | neuron somas, neurite elements, growth cones |
 //! | [`models`](mod@models) | the five benchmark simulations + cell sorting |
 //! | [`baseline`](mod@baseline) | the serial comparator engine |
+//! | [`checkpoint`](mod@checkpoint) | versioned binary checkpoint/restore with delta mode |
 //!
 //! ## Quickstart
 //!
@@ -71,6 +72,7 @@
 
 pub use bdm_alloc as alloc;
 pub use bdm_baseline as baseline;
+pub use bdm_checkpoint as checkpoint;
 pub use bdm_core as core;
 pub use bdm_diffusion as diffusion;
 pub use bdm_env as env;

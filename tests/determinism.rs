@@ -192,3 +192,39 @@ fn epidemiology_infections_are_seed_deterministic() {
     };
     assert_eq!(infected(), infected());
 }
+
+/// Cross-backend differential suite: for every model, the brute-force,
+/// uniform-grid, kd-tree, and octree environments must agree on the final
+/// state. Discrete state (uid sets, payloads, type tags) must match exactly;
+/// positions, diameters, and concentrations are compared within a tolerance
+/// because backends enumerate neighbors in different orders and FP summation
+/// order legitimately moves the last few mantissa bits. On failure the first
+/// diverging agent index is reported.
+#[test]
+fn all_backends_agree_on_final_state() {
+    use biodynamo::core::testing::{fingerprint, first_divergence_within};
+
+    const TOL: f64 = 1e-6;
+    for model in all_models(100) {
+        let mk = |env| Param {
+            environment: env,
+            threads: Some(2),
+            numa_domains: Some(2),
+            seed: 77,
+            ..Param::default()
+        };
+        let reference = fingerprint(&run(model.as_ref(), mk(EnvironmentKind::Brute), 8));
+        for env in EnvironmentKind::ALL {
+            if env == EnvironmentKind::Brute {
+                continue;
+            }
+            let candidate = fingerprint(&run(model.as_ref(), mk(env), 8));
+            if let Some(divergence) = first_divergence_within(&reference, &candidate, TOL) {
+                panic!(
+                    "{} diverges between Brute and {env:?}: {divergence}",
+                    model.name()
+                );
+            }
+        }
+    }
+}

@@ -227,3 +227,138 @@ fn allocator_survives_churn() {
         "{stats:?}"
     );
 }
+
+// ---- Corrupt-checkpoint injection -----------------------------------------
+//
+// Restore must never panic and never half-restore: truncated, bit-flipped,
+// or version-mismatched checkpoints return a typed `CheckpointError` naming
+// the failing section, and no `Simulation` escapes.
+
+mod corrupt_checkpoints {
+    use super::small_param;
+    use biodynamo::checkpoint::{checkpoint, restore, CheckpointError, Registry, FORMAT_VERSION};
+    use biodynamo::prelude::*;
+
+    /// A small but fully featured checkpoint: agents with behaviors plus a
+    /// diffusion grid, so every section is non-trivial.
+    fn valid_checkpoint() -> Vec<u8> {
+        let mut sim = Simulation::new(Param {
+            interaction_radius: Some(12.0),
+            ..small_param()
+        });
+        let g = sim.add_diffusion_grid(DiffusionGrid::new(
+            "attractant",
+            0.3,
+            0.01,
+            8,
+            Real3::splat(0.0),
+            80.0,
+        ));
+        for i in 0..30 {
+            let uid = sim.new_uid();
+            let mut cell = Cell::new(uid)
+                .with_position(Real3::splat(5.0 + i as f64 * 2.0))
+                .with_diameter(8.0);
+            cell.base_mut().add_behavior(new_behavior_box(
+                biodynamo::models::Secretion {
+                    grid: g,
+                    amount: 0.5,
+                },
+                sim.memory_manager(),
+                0,
+            ));
+            sim.add_agent(cell);
+        }
+        sim.simulate(3);
+        checkpoint(&sim).expect("valid checkpoint")
+    }
+
+    /// Truncation at every length in a byte-granular sweep near the front
+    /// (header + section table) and a coarser sweep through the payloads:
+    /// always a typed error, never a panic.
+    #[test]
+    fn truncated_checkpoints_return_typed_errors() {
+        let reg = Registry::with_builtin_types();
+        let bytes = valid_checkpoint();
+        let lengths = (0..64.min(bytes.len()))
+            .chain((64..bytes.len()).step_by(97))
+            .chain([bytes.len() - 1]);
+        for len in lengths {
+            let err = restore(&bytes[..len], &reg)
+                .err()
+                .unwrap_or_else(|| panic!("restore of {len}-byte prefix must fail"));
+            // Every prefix is either missing bytes or fails the whole-file
+            // checksum; both carry the failing section's name.
+            match err {
+                CheckpointError::Truncated { .. } | CheckpointError::ChecksumMismatch { .. } => {}
+                other => panic!("prefix len {len}: unexpected error {other}"),
+            }
+        }
+    }
+
+    /// A single flipped bit anywhere in the file is caught by the whole-file
+    /// checksum (or, for flips inside the trailer itself, by the mismatch
+    /// against the recomputed sum) — typed error, never a panic, never a
+    /// half-restored simulation.
+    #[test]
+    fn bit_flipped_checkpoints_return_typed_errors() {
+        let reg = Registry::with_builtin_types();
+        let bytes = valid_checkpoint();
+        for pos in (0..bytes.len()).step_by(53) {
+            for bit in [0, 7] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= 1 << bit;
+                let err = restore(&corrupt, &reg)
+                    .err()
+                    .unwrap_or_else(|| panic!("flip at byte {pos} bit {bit} must not restore"));
+                match err {
+                    CheckpointError::ChecksumMismatch { .. }
+                    | CheckpointError::BadMagic
+                    | CheckpointError::VersionMismatch { .. }
+                    | CheckpointError::Malformed { .. } => {}
+                    other => panic!("flip at byte {pos} bit {bit}: unexpected error {other}"),
+                }
+            }
+        }
+    }
+
+    /// A future format version is rejected as `VersionMismatch` naming the
+    /// found version — even with a valid whole-file checksum, which the
+    /// writer of a future version would produce.
+    #[test]
+    fn version_mismatch_is_reported_by_name() {
+        let reg = Registry::with_builtin_types();
+        let mut bytes = valid_checkpoint();
+        // Bump the version field (offset 8, u32 LE) and re-seal the file.
+        let future = FORMAT_VERSION + 1;
+        bytes[8..12].copy_from_slice(&future.to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let sum = biodynamo::util::fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        match restore(&bytes, &reg).err().unwrap() {
+            CheckpointError::VersionMismatch { found } => assert_eq!(found, future),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    /// Flipping a payload byte *and* re-sealing both the section checksum
+    /// and the file trailer defeats the checksums by construction — but a
+    /// semantically impossible value still fails with a typed, named error
+    /// instead of a panic or a half-restored simulation.
+    #[test]
+    fn resealed_semantic_corruption_still_fails_typed() {
+        let reg = Registry::with_builtin_types();
+        let bytes = valid_checkpoint();
+        // Zero out the section count: a structurally valid file with no
+        // sections must report the first missing section by name.
+        let mut corrupt = bytes.clone();
+        corrupt.truncate(25); // magic + version + kind + base id + count
+        corrupt[21..25].copy_from_slice(&0u32.to_le_bytes());
+        let sum = biodynamo::util::fnv1a64(&corrupt);
+        corrupt.extend_from_slice(&sum.to_le_bytes());
+        match restore(&corrupt, &reg).err().unwrap() {
+            CheckpointError::MissingSection { section } => assert_eq!(section, "PARAM"),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+}
