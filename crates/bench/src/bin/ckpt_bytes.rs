@@ -2,15 +2,20 @@
 //!
 //! For every selected model: the full-checkpoint size, the delta size after
 //! further iterations (agents changed), the delta size at rest (nothing
-//! changed — counters only), and the serialize/restore wall time with the
-//! derived throughput. The committed baseline capture
+//! changed — counters only), the serialize/restore wall time with the
+//! derived throughput, and the steady-state bytes resident in a supervision
+//! [`CheckpointRing`] (depth 2 × 4 deltas per chain — the memory a
+//! [`SupervisedRunner`](bdm_checkpoint::SupervisedRunner) pins for its
+//! restore points). The committed baseline capture
 //! (`bench/baselines/ckpt_bytes.csv`) uses the `run_all` protocol scale;
 //! docs/PERFORMANCE.md records a 10⁶-agent throughput run of this binary.
 
 use std::time::Instant;
 
 use bdm_bench::{emit, fmt_bytes, header, Args};
-use bdm_checkpoint::{baseline, checkpoint, checkpoint_delta, restore, Registry};
+use bdm_checkpoint::{
+    baseline, checkpoint, checkpoint_delta, restore, CheckpointRing, Registry, RingPolicy,
+};
 use bdm_core::Param;
 use bdm_util::Table;
 
@@ -32,6 +37,7 @@ fn main() {
         "bytes/agent",
         "write",
         "restore",
+        "ring bytes (steady)",
     ]);
     for name in args.selected_models() {
         let model = bdm_models::model_by_name(&name, agents).expect("known model");
@@ -61,6 +67,21 @@ fn main() {
         let restore_secs = t1.elapsed().as_secs_f64();
         assert_eq!(restored.iteration(), iterations as u64, "{name}");
 
+        // Supervision-ring residency once retention has saturated: with
+        // depth 2 and 4 deltas/chain, 10 captures fill the ring and the
+        // next ones just rotate chains.
+        let ring_policy = RingPolicy {
+            interval: 1,
+            depth: 2,
+            full_every: 4,
+        };
+        let mut ring = CheckpointRing::new(ring_policy);
+        for _ in 0..12 {
+            sim.step();
+            ring.capture(&sim).expect("ring capture");
+        }
+        let ring_bytes = ring.resident_bytes();
+
         let n = restored.num_agents() as u64;
         table.row([
             name.clone(),
@@ -78,6 +99,7 @@ fn main() {
                 restore_secs * 1e3,
                 fmt_bytes((full.len() as f64 / restore_secs) as u64)
             ),
+            ring_bytes.to_string(),
         ]);
     }
     emit(&table, "ckpt_bytes", &args);

@@ -252,6 +252,18 @@ pub struct RunReport {
     pub pool_allocations: u64,
     /// Allocations that used the system allocator.
     pub system_allocations: u64,
+    /// Health sentinel scans executed (0 when the sentinel is off).
+    pub health_checks_run: u64,
+    /// Health violations detected (sentinel scans + counted sentinel
+    /// reroutes of former asserts).
+    pub violations_detected: u64,
+    /// Supervisor recovery attempts (rollback + replay).
+    pub recoveries_attempted: u64,
+    /// Recoveries confirmed by a clean replay past the failure point.
+    pub recoveries_succeeded: u64,
+    /// Bytes resident in the supervisor's checkpoint ring at the end of the
+    /// run (0 for unsupervised runs).
+    pub ckpt_bytes: u64,
 }
 
 impl RunReport {
@@ -292,6 +304,19 @@ impl RunReport {
             self.pool_allocations,
             self.system_allocations
         );
+        // Supervision counters are only emitted when non-zero so unsupervised
+        // report lines stay byte-compatible with committed CSV protocols.
+        for (key, value) in [
+            ("health_checks", self.health_checks_run),
+            ("violations", self.violations_detected),
+            ("recoveries_attempted", self.recoveries_attempted),
+            ("recoveries_succeeded", self.recoveries_succeeded),
+            ("ckpt_bytes", self.ckpt_bytes),
+        ] {
+            if value != 0 {
+                let _ = write!(s, " {key}={value}");
+            }
+        }
         for (name, secs) in &self.buckets {
             let _ = write!(s, " bucket.{name}={secs}");
         }
@@ -333,6 +358,11 @@ impl RunReport {
             pool_allocations: num("pool_allocs")?,
             system_allocations: num("sys_allocs")?,
             buckets: BTreeMap::new(),
+            health_checks_run: opt_num(&map, "health_checks")?,
+            violations_detected: opt_num(&map, "violations")?,
+            recoveries_attempted: opt_num(&map, "recoveries_attempted")?,
+            recoveries_succeeded: opt_num(&map, "recoveries_succeeded")?,
+            ckpt_bytes: opt_num(&map, "ckpt_bytes")?,
         };
         for (key, value) in &map {
             if let Some(name) = key.strip_prefix("bucket.") {
@@ -344,6 +374,17 @@ impl RunReport {
         }
         Ok(report)
     }
+}
+
+/// Optional u64 key: absent (older binaries / unsupervised runs) reads 0.
+fn opt_num(map: &BTreeMap<String, String>, key: &str) -> Result<u64, String> {
+    map.get(key)
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("bad number for {key}"))
+        })
+        .transpose()
+        .map(|v| v.unwrap_or(0))
 }
 
 fn parse_kv(line: &str) -> Result<BTreeMap<String, String>, String> {
@@ -454,6 +495,11 @@ mod tests {
             pool_reserved_bytes: 65536,
             pool_allocations: 100,
             system_allocations: 5,
+            health_checks_run: 4,
+            violations_detected: 2,
+            recoveries_attempted: 2,
+            recoveries_succeeded: 2,
+            ckpt_bytes: 12345,
             buckets: BTreeMap::new(),
         };
         report.buckets.insert("agent_ops".into(), 0.9);

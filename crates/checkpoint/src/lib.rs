@@ -32,17 +32,32 @@
 //! [`Simulation`] internally and only returns it on success. Truncated,
 //! bit-flipped, or version-mismatched inputs produce a typed
 //! [`CheckpointError`] naming the failing section.
+//!
+//! ## Supervision
+//!
+//! On top of the wire format sit two runtime-resilience layers: [`ring`]
+//! keeps a bounded in-memory ring of restore points (full checkpoints plus
+//! delta chains), and [`supervise`] drives a simulation with automatic
+//! rollback-and-retry — panics and health-sentinel violations roll back to
+//! the newest good restore point and replay bitwise-identically, with a
+//! configurable degradation ladder and a bounded attempt budget.
 
 #![warn(missing_docs)]
 
 mod error;
 mod registry;
+pub mod ring;
 mod sections;
+pub mod supervise;
 mod wire;
 
 pub use error::CheckpointError;
 pub use registry::Registry;
+pub use ring::{CheckpointRing, RingPolicy};
 pub use sections::{Counters, RestoredAgent};
+pub use supervise::{
+    Degradation, RecoveryEvent, RecoveryPolicy, RecoveryReport, SupervisedRunner, SupervisorError,
+};
 pub use wire::{FORMAT_VERSION, KIND_DELTA, KIND_FULL, MAGIC};
 
 use bdm_core::{Param, Simulation};
@@ -100,6 +115,14 @@ pub fn baseline(full: &[u8]) -> Result<Baseline, CheckpointError> {
 /// Serializes only what changed since `base` (see the crate docs). The
 /// COUNTERS section is always written; restoring the result requires the
 /// base full checkpoint (see [`restore_chain`]).
+///
+/// `base` must describe a full checkpoint of **this same simulation
+/// instance**: change detection compares the resource manager's generation
+/// and the grids' change counters against the base's recorded values, and
+/// those counters restart in a freshly restored simulation. After a
+/// restore, take a new full checkpoint before producing deltas (the
+/// [`CheckpointRing`] does this automatically via
+/// [`CheckpointRing::break_chain`]).
 pub fn checkpoint_delta(sim: &Simulation, base: &Baseline) -> Result<Vec<u8>, CheckpointError> {
     let all = encode_sections(sim)?;
     let mut kept = Vec::new();

@@ -1,0 +1,343 @@
+//! Bounded in-memory ring of restore points.
+//!
+//! [`CheckpointRing`] keeps the last few checkpoints of a running simulation
+//! resident so a supervisor can roll back after a fault without touching the
+//! filesystem. Storage is organized as *chains*: each chain starts with a
+//! full checkpoint and accumulates delta checkpoints written against it
+//! (cheap — deltas skip unchanged sections). [`RingPolicy`] bounds both axes:
+//! after `full_every` deltas a new chain is started, and only the newest
+//! `depth` chains are retained.
+//!
+//! The ring is also the supervisor's fallback ladder for *corrupted* restore
+//! points: [`CheckpointRing::drop_latest`] discards the newest restore point
+//! (one delta, or a whole chain once its deltas are gone) so a failed
+//! restore can retry against the next-older state.
+
+use std::collections::VecDeque;
+
+use bdm_core::{Param, Simulation};
+
+use crate::error::CheckpointError;
+use crate::registry::Registry;
+use crate::{baseline, checkpoint, checkpoint_delta, restore_chain_with, Baseline};
+
+/// Capture cadence and retention bounds for a [`CheckpointRing`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingPolicy {
+    /// Capture every `interval` iterations (clamped to ≥ 1).
+    pub interval: u64,
+    /// Number of full-checkpoint chains retained (clamped to ≥ 1); older
+    /// chains are pruned whole.
+    pub depth: usize,
+    /// Deltas accumulated per chain before the next capture starts a fresh
+    /// chain with a new full checkpoint (0 = every capture is a full).
+    pub full_every: u64,
+}
+
+impl Default for RingPolicy {
+    fn default() -> RingPolicy {
+        RingPolicy {
+            interval: 25,
+            depth: 2,
+            full_every: 8,
+        }
+    }
+}
+
+impl RingPolicy {
+    /// A policy capturing every `interval` iterations with the default
+    /// retention bounds.
+    pub fn every(interval: u64) -> RingPolicy {
+        RingPolicy {
+            interval: interval.max(1),
+            ..RingPolicy::default()
+        }
+    }
+}
+
+/// One full checkpoint plus the deltas written against it.
+#[derive(Debug, Clone)]
+struct Chain {
+    full: Vec<u8>,
+    base: Baseline,
+    full_iteration: u64,
+    /// `(iteration, bytes)` in capture order; deltas are cumulative against
+    /// `full`, so the newest one alone carries the chain's latest state.
+    deltas: Vec<(u64, Vec<u8>)>,
+}
+
+impl Chain {
+    fn resident_bytes(&self) -> usize {
+        self.full.len() + self.deltas.iter().map(|(_, d)| d.len()).sum::<usize>()
+    }
+
+    fn latest_iteration(&self) -> u64 {
+        self.deltas
+            .last()
+            .map(|(it, _)| *it)
+            .unwrap_or(self.full_iteration)
+    }
+}
+
+/// A bounded ring of in-memory restore points (see the module docs).
+#[derive(Debug, Clone)]
+pub struct CheckpointRing {
+    policy: RingPolicy,
+    chains: VecDeque<Chain>,
+    captures: u64,
+    force_full: bool,
+}
+
+impl CheckpointRing {
+    /// An empty ring with `policy`.
+    pub fn new(policy: RingPolicy) -> CheckpointRing {
+        CheckpointRing {
+            policy,
+            chains: VecDeque::new(),
+            captures: 0,
+            force_full: false,
+        }
+    }
+
+    /// Forces the next capture to start a fresh full-checkpoint chain.
+    ///
+    /// **Must be called after restoring a simulation from this (or any)
+    /// ring.** Delta production compares the simulation's resource-manager
+    /// generation and grid change counters against the values recorded in
+    /// the chain's base — counters that restart in a freshly restored
+    /// simulation. Extending an old chain across a restore can therefore
+    /// spuriously classify changed sections as unchanged and capture a
+    /// restore point whose agents lag its iteration counter.
+    pub fn break_chain(&mut self) {
+        self.force_full = true;
+    }
+
+    /// The ring's capture/retention policy.
+    pub fn policy(&self) -> &RingPolicy {
+        &self.policy
+    }
+
+    /// Whether the ring wants a capture at `iteration` (a multiple of the
+    /// policy interval).
+    pub fn is_due(&self, iteration: u64) -> bool {
+        iteration.is_multiple_of(self.policy.interval.max(1))
+    }
+
+    /// Captures `sim` as the ring's newest restore point: a delta against
+    /// the current chain's full checkpoint when the chain has room, a fresh
+    /// full checkpoint otherwise (pruning chains beyond the policy depth).
+    pub fn capture(&mut self, sim: &Simulation) -> Result<(), CheckpointError> {
+        let extend = !self.force_full
+            && self
+                .chains
+                .back()
+                .is_some_and(|c| (c.deltas.len() as u64) < self.policy.full_every);
+        self.force_full = false;
+        if extend {
+            let chain = self.chains.back_mut().expect("chain exists");
+            let delta = checkpoint_delta(sim, &chain.base)?;
+            chain.deltas.push((sim.iteration(), delta));
+        } else {
+            let full = checkpoint(sim)?;
+            let base = baseline(&full)?;
+            self.chains.push_back(Chain {
+                full,
+                base,
+                full_iteration: sim.iteration(),
+                deltas: Vec::new(),
+            });
+            while self.chains.len() > self.policy.depth.max(1) {
+                self.chains.pop_front();
+            }
+        }
+        self.captures += 1;
+        Ok(())
+    }
+
+    /// Restores the newest restore point, building the simulation shell
+    /// through `build` (see [`crate::restore_with`]). Fails with
+    /// [`CheckpointError`] if the ring is empty or the bytes are corrupt —
+    /// callers typically [`CheckpointRing::drop_latest`] and retry.
+    pub fn restore_latest_with(
+        &self,
+        registry: &Registry,
+        build: impl FnOnce(Param) -> Simulation,
+    ) -> Result<Simulation, CheckpointError> {
+        let chain = self
+            .chains
+            .back()
+            .ok_or(CheckpointError::WrongKind { expected: "full" })?;
+        let deltas: Vec<&[u8]> = chain.deltas.iter().map(|(_, d)| d.as_slice()).collect();
+        restore_chain_with(&chain.full, &deltas, registry, build)
+    }
+
+    /// Restores the newest restore point using [`Simulation::new`].
+    pub fn restore_latest(&self, registry: &Registry) -> Result<Simulation, CheckpointError> {
+        self.restore_latest_with(registry, Simulation::new)
+    }
+
+    /// Discards the newest restore point — the newest delta of the newest
+    /// chain, or the whole chain once it has no deltas left. Returns `false`
+    /// if the ring was already empty.
+    pub fn drop_latest(&mut self) -> bool {
+        match self.chains.back_mut() {
+            None => false,
+            Some(chain) => {
+                if chain.deltas.pop().is_none() {
+                    self.chains.pop_back();
+                }
+                true
+            }
+        }
+    }
+
+    /// Flips one bit of the newest restore point's bytes (`byte` is taken
+    /// modulo the blob length). Fault-injection hook for exercising the
+    /// drop-and-retry restore ladder; no effect on an empty ring.
+    pub fn corrupt_latest(&mut self, byte: u64) {
+        if let Some(chain) = self.chains.back_mut() {
+            let blob = match chain.deltas.last_mut() {
+                Some((_, d)) => d,
+                None => &mut chain.full,
+            };
+            if !blob.is_empty() {
+                let idx = (byte % blob.len() as u64) as usize;
+                blob[idx] ^= 1;
+            }
+        }
+    }
+
+    /// Whether the ring holds no restore points.
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+
+    /// Number of restore points currently held (fulls + deltas).
+    pub fn len(&self) -> usize {
+        self.chains.iter().map(|c| 1 + c.deltas.len()).sum()
+    }
+
+    /// Iteration of the newest restore point, if any.
+    pub fn latest_iteration(&self) -> Option<u64> {
+        self.chains.back().map(|c| c.latest_iteration())
+    }
+
+    /// Total captures performed over the ring's lifetime (including ones
+    /// since pruned).
+    pub fn captures(&self) -> u64 {
+        self.captures
+    }
+
+    /// Bytes currently resident in the ring (all fulls + all deltas).
+    pub fn resident_bytes(&self) -> usize {
+        self.chains.iter().map(Chain::resident_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdm_core::{Cell, Real3};
+
+    fn small_sim() -> Simulation {
+        let mut sim = Simulation::new(Param {
+            threads: Some(2),
+            numa_domains: Some(2),
+            interaction_radius: Some(12.0),
+            ..Param::default()
+        });
+        for i in 0..8 {
+            let uid = sim.new_uid();
+            sim.add_agent(
+                Cell::new(uid)
+                    .with_position(Real3::splat(10.0 + i as f64 * 5.0))
+                    .with_diameter(10.0),
+            );
+        }
+        sim
+    }
+
+    #[test]
+    fn ring_restores_latest_capture() {
+        let mut sim = small_sim();
+        let mut ring = CheckpointRing::new(RingPolicy {
+            interval: 1,
+            depth: 2,
+            full_every: 2,
+        });
+        for _ in 0..5 {
+            sim.step();
+            ring.capture(&sim).unwrap();
+        }
+        assert_eq!(ring.latest_iteration(), Some(5));
+        let restored = ring
+            .restore_latest(&Registry::with_builtin_types())
+            .unwrap();
+        bdm_core::testing::assert_identical(
+            &bdm_core::testing::fingerprint(&sim),
+            &bdm_core::testing::fingerprint(&restored),
+            "ring restore",
+        );
+    }
+
+    #[test]
+    fn depth_bound_prunes_old_chains() {
+        let mut sim = small_sim();
+        let mut ring = CheckpointRing::new(RingPolicy {
+            interval: 1,
+            depth: 2,
+            full_every: 0, // every capture is a full chain
+        });
+        for _ in 0..6 {
+            sim.step();
+            ring.capture(&sim).unwrap();
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.captures(), 6);
+        assert!(ring.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn drop_latest_walks_back_through_deltas_then_chains() {
+        let mut sim = small_sim();
+        let mut ring = CheckpointRing::new(RingPolicy {
+            interval: 1,
+            depth: 2,
+            full_every: 1,
+        });
+        for _ in 0..4 {
+            sim.step();
+            ring.capture(&sim).unwrap();
+        }
+        // Layout: chain(full@1, delta@2), chain(full@3, delta@4).
+        assert_eq!(ring.latest_iteration(), Some(4));
+        assert!(ring.drop_latest());
+        assert_eq!(ring.latest_iteration(), Some(3));
+        assert!(ring.drop_latest());
+        assert_eq!(ring.latest_iteration(), Some(2));
+        assert!(ring.drop_latest());
+        assert!(ring.drop_latest());
+        assert!(!ring.drop_latest());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn corrupt_latest_fails_restore_until_dropped() {
+        let mut sim = small_sim();
+        let mut ring = CheckpointRing::new(RingPolicy {
+            interval: 1,
+            depth: 2,
+            full_every: 4,
+        });
+        sim.step();
+        ring.capture(&sim).unwrap();
+        sim.step();
+        ring.capture(&sim).unwrap();
+        ring.corrupt_latest(40);
+        let reg = Registry::with_builtin_types();
+        assert!(ring.restore_latest(&reg).is_err());
+        assert!(ring.drop_latest());
+        let restored = ring.restore_latest(&reg).unwrap();
+        assert_eq!(restored.iteration(), 1);
+    }
+}

@@ -7,7 +7,8 @@
 //! `docs/ARCHITECTURE.md`.
 
 use bdm_core::{
-    CurveKind, EnvironmentKind, InteractionForce, NeighborAccess, Param, Simulation, StaticFlags,
+    CurveKind, EnvironmentKind, HealthPolicy, InteractionForce, NeighborAccess, Param, Simulation,
+    StaticFlags,
 };
 use bdm_util::{ByteReader, ByteWriter, Real3};
 
@@ -57,6 +58,20 @@ pub fn write_param(p: &Param) -> Vec<u8> {
     w.put_f64(p.mem_mgr_growth_rate);
     w.put_u8(p.neighbor_access.bits());
     w.put_u8(u8::from(p.box_batched_mechanics));
+    // Health policy (format v2): fixed-size like the opt_* fields — absent
+    // policies write zeroed placeholders so the payload length is stable.
+    w.put_u8(u8::from(p.health.is_some()));
+    let h = p.health.clone().unwrap_or_default();
+    w.put_u64(h.frequency);
+    w.put_u8(u8::from(h.bounds.is_some()));
+    let (lo, hi) = h.bounds.unwrap_or((Real3::ZERO, Real3::ZERO));
+    for v in [lo, hi] {
+        w.put_f64(v.x());
+        w.put_f64(v.y());
+        w.put_f64(v.z());
+    }
+    opt_u64(&mut w, h.max_agents);
+    w.put_u8(u8::from(h.check_diffusion));
     w.into_bytes()
 }
 
@@ -118,6 +133,26 @@ pub fn read_param(payload: &[u8]) -> Result<Param, CheckpointError> {
         )
     })?;
     let box_batched_mechanics = r.take_u8().map_err(truncated(S_PARAM))? != 0;
+    let health_some = r.take_u8().map_err(truncated(S_PARAM))? != 0;
+    let health_frequency = r.take_u64().map_err(truncated(S_PARAM))?;
+    let bounds_some = r.take_u8().map_err(truncated(S_PARAM))? != 0;
+    let mut bounds_vals = [0.0f64; 6];
+    for v in &mut bounds_vals {
+        *v = r.take_f64().map_err(truncated(S_PARAM))?;
+    }
+    let health_max_agents = take_opt_u64(r, S_PARAM)?;
+    let health_check_diffusion = r.take_u8().map_err(truncated(S_PARAM))? != 0;
+    let health = health_some.then(|| HealthPolicy {
+        frequency: health_frequency,
+        bounds: bounds_some.then(|| {
+            (
+                Real3::new(bounds_vals[0], bounds_vals[1], bounds_vals[2]),
+                Real3::new(bounds_vals[3], bounds_vals[4], bounds_vals[5]),
+            )
+        }),
+        max_agents: health_max_agents,
+        check_diffusion: health_check_diffusion,
+    });
     if !r.is_exhausted() {
         return Err(malformed(
             S_PARAM,
@@ -145,6 +180,7 @@ pub fn read_param(payload: &[u8]) -> Result<Param, CheckpointError> {
         mem_mgr_growth_rate,
         neighbor_access,
         box_batched_mechanics,
+        health,
     })
 }
 

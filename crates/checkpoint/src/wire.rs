@@ -26,8 +26,9 @@ use crate::error::{truncated, CheckpointError};
 
 /// File magic.
 pub const MAGIC: [u8; 8] = *b"BDMCKPT\0";
-/// Current format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version. v2 extended the PARAM section with the health
+/// sentinel policy; v1 files are rejected rather than silently misread.
+pub const FORMAT_VERSION: u32 = 2;
 /// Header `kind` byte of a full checkpoint.
 pub const KIND_FULL: u8 = 0;
 /// Header `kind` byte of a delta checkpoint.

@@ -95,8 +95,16 @@ impl AgentBase {
     }
 
     /// Position setter.
+    ///
+    /// A non-finite position is *counted* (process-global write sentinel,
+    /// see [`crate::supervisor::write_sentinel_counts`]) rather than
+    /// asserted on: release builds used to silently store NaNs here and
+    /// debug builds aborted the whole process. The health sentinel turns
+    /// the stored value into a typed violation on its next scan.
     pub fn set_position(&mut self, p: Real3) {
-        debug_assert!(p.is_finite(), "non-finite position {p:?}");
+        if !p.is_finite() {
+            crate::supervisor::flag_nonfinite_position();
+        }
         self.position = p;
     }
 
@@ -106,8 +114,13 @@ impl AgentBase {
     }
 
     /// Diameter setter.
+    ///
+    /// Like [`AgentBase::set_position`], an invalid (non-finite or negative)
+    /// diameter is counted by the write sentinel instead of asserted on.
     pub fn set_diameter(&mut self, d: f64) {
-        debug_assert!(d.is_finite() && d >= 0.0, "invalid diameter {d}");
+        if !(d.is_finite() && d >= 0.0) {
+            crate::supervisor::flag_invalid_diameter();
+        }
         self.diameter = d;
     }
 

@@ -23,10 +23,12 @@ use bdm_diffusion::DiffusionGrid;
 use bdm_env::EnvironmentKind;
 use bdm_sfc::CurveKind;
 
+use crate::faults::FaultPlan;
 use crate::force::InteractionForce;
 use crate::param::{OptLevel, Param};
 use crate::scheduler::Operation;
 use crate::simulation::Simulation;
+use crate::supervisor::HealthPolicy;
 
 /// Fluent builder for [`Simulation`]; create one with
 /// [`Simulation::builder`].
@@ -36,6 +38,7 @@ pub struct SimulationBuilder {
     force: Option<InteractionForce>,
     grids: Vec<DiffusionGrid>,
     ops: Vec<Box<dyn Operation>>,
+    faults: Option<FaultPlan>,
 }
 
 impl SimulationBuilder {
@@ -186,6 +189,26 @@ impl SimulationBuilder {
         self
     }
 
+    /// Enables the built-in health sentinel with `policy` (registers the
+    /// `health_check` operation; see [`crate::supervisor`]).
+    pub fn health(mut self, policy: HealthPolicy) -> Self {
+        self.param.health = Some(policy);
+        self
+    }
+
+    /// Shorthand: health sentinel with default policy, scanning every
+    /// `frequency` iterations.
+    pub fn health_checks_every(mut self, frequency: u64) -> Self {
+        self.param.health = Some(HealthPolicy::every(frequency));
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan (see [`crate::faults`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// The parameter set the builder has accumulated so far.
     pub fn param(&self) -> &Param {
         &self.param
@@ -202,6 +225,9 @@ impl SimulationBuilder {
         }
         for op in self.ops {
             sim.scheduler_mut().add_boxed_op(op);
+        }
+        if let Some(plan) = self.faults {
+            sim.set_fault_plan(plan);
         }
         sim
     }

@@ -302,6 +302,9 @@ pub struct ExecutionContext {
     pub(crate) batched_force_queries: u64,
     /// Mechanics statistics: agents skipped as static (paper Section 5).
     pub(crate) static_skipped: u64,
+    /// Non-finite force accumulations observed by the mechanics kernel
+    /// (folded into a typed health violation at teardown).
+    pub(crate) nonfinite_forces: u64,
     /// Reusable neighbor-query scratch: queries issued through this thread's
     /// [`AgentContext`] allocate nothing in steady state.
     pub(crate) query_scratch: NeighborQueryScratch,

@@ -21,6 +21,10 @@
 //!   ordered op list, per-op frequencies and timings, built-in phases.
 //! * [`builder`] — fluent [`SimulationBuilder`] construction.
 //! * [`simulation`] — the simulation object driving the scheduler.
+//! * [`supervisor`] — health sentinels: typed runtime state validation
+//!   (non-finite scans, bounds, count explosions) instead of asserts.
+//! * [`faults`] — deterministic, seeded fault injection at named engine
+//!   sites, for exercising recovery paths reproducibly.
 //! * [`testing`] — bitwise state capture and differential comparison for the
 //!   conformance suites (checkpoint replay, cross-backend determinism).
 
@@ -30,6 +34,7 @@ pub mod agent;
 pub mod behavior;
 pub mod builder;
 pub mod context;
+pub mod faults;
 pub mod force;
 pub(crate) mod ops;
 pub mod param;
@@ -37,6 +42,7 @@ pub mod resource_manager;
 pub mod scheduler;
 pub mod simulation;
 pub(crate) mod sorting;
+pub mod supervisor;
 pub mod testing;
 
 pub use agent::{
@@ -46,11 +52,13 @@ pub use agent::{
 pub use behavior::{clone_behavior_box, new_behavior_box, Behavior, BehaviorBox, BehaviorControl};
 pub use builder::SimulationBuilder;
 pub use context::{AgentContext, ExecutionContext, Neighbor, NeighborAccess, Snapshot};
+pub use faults::{FaultKind, FaultPlan, FaultSite, PlannedFault};
 pub use force::InteractionForce;
 pub use param::{OptLevel, Param};
 pub use resource_manager::{CommitStats, ResourceManager, StaticFlags};
 pub use scheduler::{builtin, OpInfo, OpKind, Operation, Scheduler, SimulationCtx};
 pub use simulation::{SimStats, Simulation, StandaloneOp};
+pub use supervisor::{HealthPolicy, HealthViolation, HealthViolationKind};
 
 // Re-exported engine substrates for convenience.
 pub use bdm_alloc::{MemoryManager, PoolBox, PoolConfig};

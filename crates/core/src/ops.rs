@@ -172,6 +172,13 @@ pub(crate) fn run_mechanics(
     // Forces translate into displacement with unit mobility, capped by
     // `simulation_max_displacement`.
     let mut displacement = total_force * cfg.dt;
+    if !displacement.is_finite() {
+        // Count instead of abort: a NaN norm fails every comparison below,
+        // so the position write is naturally skipped and the corruption is
+        // contained to this counter (surfaced as a NonFiniteForce violation
+        // at teardown) instead of spreading through the population.
+        ctx.exec.nonfinite_forces += 1;
+    }
     let norm = displacement.norm();
     if norm > cfg.max_displacement {
         displacement *= cfg.max_displacement / norm;

@@ -84,6 +84,13 @@ pub struct Param {
     /// pins the scalar path (parity tests and A/B measurements). On by
     /// default.
     pub box_batched_mechanics: bool,
+    /// Health-sentinel policy: when set, the default scheduler registers
+    /// the built-in `health_check` operation with the policy's frequency,
+    /// scanning for non-finite state, bounds escapes, and agent-count
+    /// explosions (see [`crate::supervisor`]). `None` (the default)
+    /// registers no sentinel. Carried in the checkpoint PARAM section so a
+    /// restored simulation re-creates the identical pipeline.
+    pub health: Option<crate::supervisor::HealthPolicy>,
 }
 
 impl Default for Param {
@@ -109,6 +116,7 @@ impl Default for Param {
             mem_mgr_growth_rate: 2.0,
             neighbor_access: NeighborAccess::ALL,
             box_batched_mechanics: true,
+            health: None,
         }
     }
 }

@@ -41,6 +41,10 @@ pub mod builtin {
     /// Timing bucket that aggregates the diffusion operation and all
     /// user-registered standalone operations (legacy Figure 5 name).
     pub const STANDALONE_BUCKET: &str = "standalone_ops";
+    /// Health-sentinel scan (registered when
+    /// [`Param::health`](crate::param::Param::health) is set; see
+    /// [`crate::supervisor`]).
+    pub const HEALTH_CHECK: &str = "health_check";
 }
 
 /// Where in the iteration an operation executes (paper Algorithm 1).
@@ -592,6 +596,9 @@ impl Scheduler {
             if !Scheduler::is_due(entry, iteration) && !forced {
                 continue;
             }
+            // Named injection site: a planned fault scheduled before this
+            // operation fires here (no-op unless a plan is attached).
+            ctx.sim.fire_op_fault(entry.op.name());
             let t = Timer::start();
             entry.op.run(ctx);
             entry.total += t.elapsed();

@@ -32,6 +32,7 @@ use crate::builder::SimulationBuilder;
 use crate::context::{
     agent_rng, AgentContext, ExecutionContext, NeighborAccess, Snapshot, SnapshotCloud,
 };
+use crate::faults::{FaultKind, FaultPlan, FaultSite};
 use crate::force::InteractionForce;
 use crate::ops::{run_behaviors, run_mechanics, MechanicsConfig, ViolationTable};
 use crate::param::Param;
@@ -41,6 +42,7 @@ use crate::scheduler::{
     SortingOp, TeardownOp,
 };
 use crate::sorting::sort_and_balance;
+use crate::supervisor::{HealthCheckOp, HealthMonitor, HealthViolation, HealthViolationKind};
 
 /// Aggregate statistics across all iterations run so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -59,6 +61,16 @@ pub struct SimStats {
     pub static_skipped: u64,
     /// Agent sorting passes executed.
     pub sorts: u64,
+    /// Health-sentinel scans executed ([`Simulation::run_health_check`]).
+    pub health_checks_run: u64,
+    /// Health violations detected (sentinel scans + mechanics-kernel
+    /// non-finite force accumulations).
+    pub violations_detected: u64,
+    /// Recovery attempts a supervisor performed on this simulation
+    /// (maintained via [`Simulation::set_recovery_counters`]).
+    pub recoveries_attempted: u64,
+    /// Recovery attempts that completed the previously-failing window.
+    pub recoveries_succeeded: u64,
 }
 
 /// A user-registered standalone operation (paper Section 2: "executed once
@@ -116,6 +128,11 @@ pub struct Simulation {
     /// `environment_update` remaps agent indices even when the count is
     /// unchanged, so freshness is generation equality, not a length check.
     snapshot_generation: u64,
+    /// Bounded log of typed health violations (sentinel findings).
+    health: HealthMonitor,
+    /// Planned fault injections; `None` (the default) keeps every injection
+    /// hook on a single `is_none()` branch.
+    faults: Option<FaultPlan>,
 }
 
 impl Simulation {
@@ -173,6 +190,8 @@ impl Simulation {
             step_access: NeighborAccess::ALL,
             snapshot_iteration: 0,
             snapshot_generation: 0,
+            health: HealthMonitor::default(),
+            faults: None,
         }
     }
 
@@ -460,6 +479,260 @@ impl Simulation {
         &self.mm
     }
 
+    // -- Health sentinel ---------------------------------------------------
+
+    /// Runs the health-sentinel scan now, regardless of the `health_check`
+    /// operation's frequency (a supervisor forces a scan before every
+    /// checkpoint capture so corrupted state is never checkpointed).
+    ///
+    /// Scans agent positions/diameters for non-finite values, positions
+    /// against [`HealthPolicy::bounds`], the agent count against
+    /// [`HealthPolicy::max_agents`], and — when
+    /// [`HealthPolicy::check_diffusion`] — every diffusion grid's
+    /// concentration array.
+    ///
+    /// [`HealthPolicy::bounds`]: crate::supervisor::HealthPolicy::bounds
+    /// [`HealthPolicy::max_agents`]: crate::supervisor::HealthPolicy::max_agents
+    /// [`HealthPolicy::check_diffusion`]: crate::supervisor::HealthPolicy::check_diffusion Findings are recorded as typed
+    /// [`HealthViolation`]s (capped; exact totals in
+    /// [`SimStats::violations_detected`]) and the number found by *this*
+    /// scan is returned. The scan mutates nothing step-relevant, so it never
+    /// perturbs bit-reproducibility.
+    pub fn run_health_check(&mut self) -> usize {
+        let policy = self.param.health.clone().unwrap_or_default();
+        let iteration = self.iteration;
+        let mut found = 0usize;
+        let mut records: Vec<HealthViolation> = Vec::new();
+        let push = |records: &mut Vec<HealthViolation>, v: HealthViolation| {
+            if records.len() < crate::supervisor::MAX_RECORDED_VIOLATIONS {
+                records.push(v);
+            }
+        };
+        let bounds = policy.bounds;
+        self.rm.for_each_agent(|_h, a| {
+            let p = a.position();
+            let d = a.diameter();
+            if !p.is_finite() {
+                found += 1;
+                push(
+                    &mut records,
+                    HealthViolation {
+                        kind: HealthViolationKind::NonFinitePosition,
+                        iteration,
+                        agent: Some(a.uid().0),
+                        detail: format!("({}, {}, {})", p.x(), p.y(), p.z()),
+                    },
+                );
+            } else if let Some((lo, hi)) = bounds {
+                let escaped = p.x() < lo.x()
+                    || p.y() < lo.y()
+                    || p.z() < lo.z()
+                    || p.x() > hi.x()
+                    || p.y() > hi.y()
+                    || p.z() > hi.z();
+                if escaped {
+                    found += 1;
+                    push(
+                        &mut records,
+                        HealthViolation {
+                            kind: HealthViolationKind::OutOfBounds,
+                            iteration,
+                            agent: Some(a.uid().0),
+                            detail: format!("({}, {}, {})", p.x(), p.y(), p.z()),
+                        },
+                    );
+                }
+            }
+            if !d.is_finite() || d < 0.0 {
+                found += 1;
+                push(
+                    &mut records,
+                    HealthViolation {
+                        kind: HealthViolationKind::InvalidDiameter,
+                        iteration,
+                        agent: Some(a.uid().0),
+                        detail: format!("{d}"),
+                    },
+                );
+            }
+        });
+        if policy.check_diffusion {
+            for (gi, grid) in self.diffusion.iter().enumerate() {
+                if let Some(bi) = grid.concentrations().iter().position(|c| !c.is_finite()) {
+                    found += 1;
+                    push(
+                        &mut records,
+                        HealthViolation {
+                            kind: HealthViolationKind::NonFiniteConcentration,
+                            iteration,
+                            agent: None,
+                            detail: format!("grid #{gi} ({}) box {bi}", grid.name()),
+                        },
+                    );
+                }
+            }
+        }
+        if let Some(max) = policy.max_agents {
+            let n = self.rm.num_agents() as u64;
+            if n > max {
+                found += 1;
+                push(
+                    &mut records,
+                    HealthViolation {
+                        kind: HealthViolationKind::AgentExplosion,
+                        iteration,
+                        agent: None,
+                        detail: format!("{n} agents > limit {max}"),
+                    },
+                );
+            }
+        }
+        for v in records {
+            self.health.record(v);
+        }
+        self.stats.health_checks_run += 1;
+        self.stats.violations_detected += found as u64;
+        found
+    }
+
+    /// The recorded health violations (oldest first, detail capped — exact
+    /// totals live in [`SimStats::violations_detected`]).
+    pub fn health_violations(&self) -> &[HealthViolation] {
+        self.health.violations()
+    }
+
+    /// Drains the recorded health violations.
+    pub fn take_health_violations(&mut self) -> Vec<HealthViolation> {
+        self.health.take()
+    }
+
+    /// Records an externally detected violation (used by supervisors).
+    pub fn record_health_violation(&mut self, v: HealthViolation) {
+        self.stats.violations_detected += 1;
+        self.health.record(v);
+    }
+
+    /// Overwrites the recovery counters of [`SimStats`]. Called by a
+    /// supervisor after each restore: restoring replaces the simulation
+    /// object (and its stats), so the supervisor re-applies its running
+    /// totals to keep soak reports observable from `stats()`.
+    pub fn set_recovery_counters(&mut self, attempted: u64, succeeded: u64) {
+        self.stats.recoveries_attempted = attempted;
+        self.stats.recoveries_succeeded = succeeded;
+    }
+
+    // -- Degradation switches (recovery ladder) ---------------------------
+
+    /// Replaces the neighbor-search backend at runtime — the "force the
+    /// brute-force/kd-tree backend" degradation of the recovery ladder. The
+    /// new index is built on the next `environment_update` run.
+    pub fn set_environment_kind(&mut self, kind: bdm_env::EnvironmentKind) {
+        self.param.environment = kind;
+        self.env = kind.create();
+        // The old snapshot still matches the agents; only the index is new.
+        self.snapshot_generation = self.snapshot_generation.wrapping_sub(1);
+    }
+
+    /// Toggles the box-batched mechanics path (bit-identical to the scalar
+    /// path by construction, so this degradation preserves trajectories).
+    pub fn set_box_batched_mechanics(&mut self, enabled: bool) {
+        self.param.box_batched_mechanics = enabled;
+    }
+
+    /// Toggles static-agent detection at runtime.
+    pub fn set_detect_static_agents(&mut self, enabled: bool) {
+        self.param.detect_static_agents = enabled;
+    }
+
+    // -- Fault injection ---------------------------------------------------
+
+    /// Attaches a fault plan; the engine consults it at the named
+    /// [`FaultSite`]s. See [`crate::faults`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Detaches the fault plan (a supervisor transplants it onto the
+    /// restored simulation so already-fired faults stay fired).
+    pub fn take_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.faults.take()
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Takes a due fault for `site` at the current iteration without
+    /// executing it (used by supervisors for the
+    /// [`FaultSite::CheckpointCapture`] site, whose kinds act on buffers the
+    /// simulation cannot see).
+    pub fn take_due_fault(&mut self, site: &FaultSite) -> Option<FaultKind> {
+        let iteration = self.iteration;
+        self.faults.as_mut()?.take_due(site, iteration)
+    }
+
+    /// Injection hook: consults the plan before the scheduler runs `op`.
+    pub(crate) fn fire_op_fault(&mut self, op: &str) {
+        if self.faults.is_none() {
+            return;
+        }
+        let iteration = self.iteration;
+        let kind = self
+            .faults
+            .as_mut()
+            .and_then(|p| p.take_due_op(op, iteration));
+        if let Some(kind) = kind {
+            self.execute_fault(kind, &format!("before op `{op}`"));
+        }
+    }
+
+    /// Injection hook: consults the plan at the start of the environment
+    /// rebuild phase.
+    pub(crate) fn fire_grid_fault(&mut self) {
+        if self.faults.is_none() {
+            return;
+        }
+        let iteration = self.iteration;
+        let kind = self
+            .faults
+            .as_mut()
+            .and_then(|p| p.take_due(&FaultSite::GridRebuild, iteration));
+        if let Some(kind) = kind {
+            self.execute_fault(kind, "at grid rebuild");
+        }
+    }
+
+    fn execute_fault(&mut self, kind: FaultKind, site: &str) {
+        match kind {
+            FaultKind::Panic => {
+                panic!(
+                    "injected fault: panic {site} at iteration {}",
+                    self.iteration
+                );
+            }
+            FaultKind::NanPosition { agent_index } => {
+                let n = self.rm.num_agents();
+                if n == 0 {
+                    return;
+                }
+                let global = agent_index % n;
+                let offsets = self.rm.offsets();
+                let mut d = 0;
+                while d + 1 < offsets.len() - 1 && offsets[d + 1] <= global {
+                    d += 1;
+                }
+                let h = AgentHandle::new(d, global - offsets[d]);
+                // Goes through the sanctioned setter, which itself trips the
+                // write sentinel — the silent-corruption path under test.
+                self.rm.agent_mut(h).set_position(Real3::splat(f64::NAN));
+            }
+            // Checkpoint-targeted kinds act on supervisor-owned buffers;
+            // firing them at a simulation site is a no-op.
+            FaultKind::CheckpointBitFlip { .. } | FaultKind::DeltaGap => {}
+        }
+    }
+
     /// Runs `iterations` simulation steps (Algorithm 1 L2–19).
     pub fn simulate(&mut self, iterations: usize) {
         for _ in 0..iterations {
@@ -542,6 +815,7 @@ impl Simulation {
     /// pipeline that dropped the snapshot op — it falls back to reading the
     /// agents directly.
     pub(crate) fn phase_environment(&mut self) {
+        self.fire_grid_fault();
         let n = self.rm.num_agents();
         if n == 0 {
             return;
@@ -879,10 +1153,25 @@ impl Simulation {
             }
         }
         // Fold per-iteration mechanics counters into the aggregate stats.
+        let mut nonfinite = 0u64;
         for ctx in &mut self.ctxs {
             self.stats.force_calculations += std::mem::take(&mut ctx.force_calculations);
             self.stats.batched_force_queries += std::mem::take(&mut ctx.batched_force_queries);
             self.stats.static_skipped += std::mem::take(&mut ctx.static_skipped);
+            nonfinite += std::mem::take(&mut ctx.nonfinite_forces);
+        }
+        // The mechanics kernel counts non-finite force accumulations instead
+        // of aborting (the old hot-loop assert); surface them as typed
+        // violations so release builds detect what debug builds used to
+        // crash on.
+        if nonfinite > 0 {
+            self.stats.violations_detected += nonfinite;
+            self.health.record(HealthViolation {
+                kind: HealthViolationKind::NonFiniteForce,
+                iteration: self.iteration,
+                agent: None,
+                detail: format!("{nonfinite} non-finite force accumulation(s)"),
+            });
         }
     }
 }
@@ -909,6 +1198,14 @@ fn default_scheduler(param: &Param) -> Scheduler {
         _ => {
             scheduler.set_enabled(builtin::AGENT_SORTING, false);
         }
+    }
+    if let Some(health) = &param.health {
+        // Last Post stage: scans the committed state of the iteration.
+        // Driven by Param so checkpoint restore re-creates the same
+        // pipeline from the restored parameters alone.
+        scheduler.add_op(HealthCheckOp {
+            frequency: health.frequency.max(1),
+        });
     }
     scheduler
 }

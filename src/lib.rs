@@ -19,7 +19,7 @@
 //! | [`neuro`](mod@neuro) | neuron somas, neurite elements, growth cones |
 //! | [`models`](mod@models) | the five benchmark simulations + cell sorting |
 //! | [`baseline`](mod@baseline) | the serial comparator engine |
-//! | [`checkpoint`](mod@checkpoint) | versioned binary checkpoint/restore with delta mode |
+//! | [`checkpoint`](mod@checkpoint) | versioned binary checkpoint/restore with delta mode, the in-memory restore-point ring, and the supervised (auto-recovering) runner |
 //!
 //! ## Quickstart
 //!
@@ -84,13 +84,16 @@ pub use bdm_util as util;
 
 /// The most common imports for building simulations.
 pub mod prelude {
+    pub use bdm_checkpoint::{
+        CheckpointRing, RecoveryPolicy, RecoveryReport, RingPolicy, SupervisedRunner,
+    };
     pub use bdm_core::{
         clone_agent_box, clone_behavior_box, new_agent_box, new_behavior_box, Agent, AgentBase,
         AgentBox, AgentContext, AgentHandle, AgentUid, Behavior, BehaviorBox, BehaviorControl,
-        BoundaryCondition, Cell, CloneIn, CurveKind, DiffusionGrid, EnvironmentKind,
-        InteractionForce, MemoryManager, Neighbor, NeighborAccess, OpInfo, OpKind, Operation,
-        OptLevel, Param, Real3, Scheduler, SimRng, SimStats, Simulation, SimulationBuilder,
-        SimulationCtx, Snapshot,
+        BoundaryCondition, Cell, CloneIn, CurveKind, DiffusionGrid, EnvironmentKind, FaultKind,
+        FaultPlan, FaultSite, HealthPolicy, HealthViolation, HealthViolationKind, InteractionForce,
+        MemoryManager, Neighbor, NeighborAccess, OpInfo, OpKind, Operation, OptLevel, Param, Real3,
+        Scheduler, SimRng, SimStats, Simulation, SimulationBuilder, SimulationCtx, Snapshot,
     };
     pub use bdm_models::BenchmarkModel;
 }

@@ -1,6 +1,8 @@
 //! Integration: edge cases and failure injection — empty simulations,
-//! mass extinction, explosive growth, degenerate geometry, and allocator
-//! pressure. The engine must never panic or corrupt state.
+//! mass extinction, explosive growth, degenerate geometry, allocator
+//! pressure, corrupt checkpoints, and supervised-recovery conformance
+//! (every injected fault kind must recover to a state bitwise identical to
+//! an undisturbed run). The engine must never panic or corrupt state.
 
 use biodynamo::core::{
     clone_behavior_box, new_behavior_box, Behavior, BehaviorBox, BehaviorControl,
@@ -359,6 +361,313 @@ mod corrupt_checkpoints {
         match restore(&corrupt, &reg).err().unwrap() {
             CheckpointError::MissingSection { section } => assert_eq!(section, "PARAM"),
             other => panic!("unexpected error {other}"),
+        }
+    }
+}
+
+// ---- Supervised-recovery conformance ---------------------------------------
+//
+// The contract of the supervised runtime: a run with injected faults,
+// executed under the SupervisedRunner, finishes **bitwise identical** to the
+// same run without faults — rollback + deterministic replay erases the
+// fault entirely (as long as no degradation is applied).
+
+mod supervised_recovery {
+    use biodynamo::checkpoint::{
+        Degradation, RecoveryPolicy, RingPolicy, SupervisedRunner, SupervisorError,
+    };
+    use biodynamo::core::testing::{assert_identical, fingerprint, first_divergence};
+    use biodynamo::models::all_models;
+    use biodynamo::prelude::*;
+    use proptest::prelude::*;
+
+    const MODEL: &str = "cell_clustering";
+    const SCALE: usize = 80;
+    const ITERATIONS: u64 = 12;
+
+    fn mk_param() -> Param {
+        Param {
+            threads: Some(2),
+            numa_domains: Some(2),
+            seed: 7331,
+            health: Some(HealthPolicy::every(2)),
+            ..Param::default()
+        }
+    }
+
+    fn reference() -> Simulation {
+        let model = biodynamo::models::model_by_name(MODEL, SCALE).unwrap();
+        let mut sim = model.build(mk_param());
+        sim.simulate(ITERATIONS as usize);
+        sim
+    }
+
+    fn supervised(plan: FaultPlan, policy: RecoveryPolicy) -> SupervisedRunner {
+        let model = biodynamo::models::model_by_name(MODEL, SCALE).unwrap();
+        let mut sim = model.build(mk_param());
+        sim.set_fault_plan(plan);
+        SupervisedRunner::new(sim, policy)
+    }
+
+    fn small_ring() -> RingPolicy {
+        RingPolicy {
+            interval: 3,
+            depth: 2,
+            full_every: 2,
+        }
+    }
+
+    #[test]
+    fn op_panic_recovers_bitwise() {
+        let plan =
+            FaultPlan::new().push(FaultSite::BeforeOp("agent_ops".into()), 7, FaultKind::Panic);
+        let mut runner = supervised(
+            plan,
+            RecoveryPolicy {
+                ring: small_ring(),
+                ..RecoveryPolicy::default()
+            },
+        );
+        let report = runner.run(ITERATIONS).unwrap();
+        assert_eq!(report.panics_caught, 1);
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.succeeded, 1);
+        assert_identical(
+            &fingerprint(&reference()),
+            &fingerprint(runner.sim()),
+            "op panic",
+        );
+        // Recovery activity is visible in the engine stats (satellite: bench
+        // reports carry these fields).
+        let stats = runner.sim().stats();
+        assert_eq!(stats.recoveries_attempted, 1);
+        assert_eq!(stats.recoveries_succeeded, 1);
+        assert!(stats.health_checks_run > 0);
+    }
+
+    #[test]
+    fn grid_rebuild_panic_recovers_bitwise() {
+        let plan = FaultPlan::new().push(FaultSite::GridRebuild, 5, FaultKind::Panic);
+        let mut runner = supervised(
+            plan,
+            RecoveryPolicy {
+                ring: small_ring(),
+                ..RecoveryPolicy::default()
+            },
+        );
+        let report = runner.run(ITERATIONS).unwrap();
+        assert_eq!(report.panics_caught, 1);
+        assert_identical(
+            &fingerprint(&reference()),
+            &fingerprint(runner.sim()),
+            "grid rebuild panic",
+        );
+    }
+
+    #[test]
+    fn nan_position_write_recovers_bitwise() {
+        let plan = FaultPlan::new().push(
+            FaultSite::BeforeOp("environment_update".into()),
+            6,
+            FaultKind::NanPosition { agent_index: 11 },
+        );
+        let mut runner = supervised(
+            plan,
+            RecoveryPolicy {
+                ring: small_ring(),
+                ..RecoveryPolicy::default()
+            },
+        );
+        let report = runner.run(ITERATIONS).unwrap();
+        assert!(report.violations_handled >= 1, "{report:?}");
+        assert_eq!(report.succeeded, report.attempts);
+        assert_identical(
+            &fingerprint(&reference()),
+            &fingerprint(runner.sim()),
+            "nan position",
+        );
+    }
+
+    #[test]
+    fn checkpoint_bit_flip_falls_back_to_older_point() {
+        let plan = FaultPlan::new()
+            .push(
+                FaultSite::CheckpointCapture,
+                6,
+                FaultKind::CheckpointBitFlip { byte: 321 },
+            )
+            .push(FaultSite::BeforeOp("agent_ops".into()), 8, FaultKind::Panic);
+        let mut runner = supervised(
+            plan,
+            RecoveryPolicy {
+                ring: small_ring(),
+                ..RecoveryPolicy::default()
+            },
+        );
+        let report = runner.run(ITERATIONS).unwrap();
+        assert_eq!(report.attempts, 1);
+        // The corrupt iteration-6 capture was dropped; rollback landed on
+        // an older intact point.
+        assert!(report.recoveries[0].restored_from < 6, "{report:?}");
+        assert_identical(
+            &fingerprint(&reference()),
+            &fingerprint(runner.sim()),
+            "bit flip",
+        );
+    }
+
+    #[test]
+    fn delta_gap_replays_longer_but_stays_conformant() {
+        let plan = FaultPlan::new()
+            .push(FaultSite::CheckpointCapture, 6, FaultKind::DeltaGap)
+            .push(FaultSite::BeforeOp("agent_ops".into()), 8, FaultKind::Panic);
+        let mut runner = supervised(
+            plan,
+            RecoveryPolicy {
+                ring: small_ring(),
+                ..RecoveryPolicy::default()
+            },
+        );
+        let report = runner.run(ITERATIONS).unwrap();
+        assert_eq!(report.attempts, 1);
+        // The iteration-6 capture was skipped, so rollback lands on 3.
+        assert_eq!(report.recoveries[0].restored_from, 3);
+        assert_identical(
+            &fingerprint(&reference()),
+            &fingerprint(runner.sim()),
+            "delta gap",
+        );
+    }
+
+    #[test]
+    fn exhausted_budget_returns_typed_error() {
+        let mut plan = FaultPlan::new();
+        for it in 2..ITERATIONS {
+            plan = plan.push(
+                FaultSite::BeforeOp("agent_ops".into()),
+                it,
+                FaultKind::Panic,
+            );
+        }
+        let mut runner = supervised(
+            plan,
+            RecoveryPolicy {
+                ring: small_ring(),
+                max_attempts: 3,
+                degradations: Vec::new(),
+            },
+        );
+        match runner.run(ITERATIONS).unwrap_err() {
+            SupervisorError::BudgetExhausted { attempts, .. } => assert_eq!(attempts, 3),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn degradation_ladder_escalates_in_order() {
+        // Three failures of the same window: plain retry, then ladder rung
+        // one, then rung two.
+        let site = || FaultSite::BeforeOp("agent_ops".into());
+        let plan = FaultPlan::new()
+            .push(site(), 5, FaultKind::Panic)
+            .push(site(), 5, FaultKind::Panic)
+            .push(site(), 5, FaultKind::Panic);
+        let mut runner = supervised(
+            plan,
+            RecoveryPolicy {
+                ring: small_ring(),
+                max_attempts: 8,
+                degradations: vec![
+                    Degradation::DisableStaticDetection,
+                    Degradation::UseBruteEnvironment,
+                ],
+            },
+        );
+        let report = runner.run(ITERATIONS).unwrap();
+        assert_eq!(report.attempts, 3);
+        assert_eq!(report.recoveries[0].degradation, None);
+        assert_eq!(
+            report.recoveries[1].degradation,
+            Some(Degradation::DisableStaticDetection)
+        );
+        assert_eq!(
+            report.recoveries[2].degradation,
+            Some(Degradation::UseBruteEnvironment)
+        );
+        assert!(!runner.sim().param().detect_static_agents);
+        assert_eq!(runner.sim().environment_name(), "brute_force");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Random (model, fault site, fault iteration, ring geometry)
+        /// tuples: the supervised run must recover cleanly, and — whenever
+        /// the engine itself is run-to-run reproducible for that model at
+        /// this configuration — finish bitwise identical to the undisturbed
+        /// reference.
+        #[test]
+        fn prop_supervised_recovery_conforms(
+            model_idx in 0usize..6,
+            site_idx in 0usize..4,
+            fault_iteration in 1u64..8,
+            depth in 1usize..4,
+            interval in 1u64..5,
+        ) {
+            let iterations = 10u64;
+            let mk_param = || Param {
+                threads: Some(2),
+                numa_domains: Some(2),
+                seed: 1009,
+                health: Some(HealthPolicy::every(2)),
+                ..Param::default()
+            };
+            let build = |plan: Option<FaultPlan>| {
+                let models = all_models(60);
+                let mut sim = models[model_idx].build(mk_param());
+                if let Some(p) = plan {
+                    sim.set_fault_plan(p);
+                }
+                sim
+            };
+            let site = match site_idx {
+                0 => FaultSite::BeforeOp("agent_ops".into()),
+                1 => FaultSite::BeforeOp("environment_update".into()),
+                2 => FaultSite::GridRebuild,
+                _ => FaultSite::CheckpointCapture,
+            };
+            // Alternate fault kinds by iteration parity; capture-site faults
+            // get capture-specific kinds.
+            let kind = match (site_idx, fault_iteration % 2) {
+                (3, 0) => FaultKind::DeltaGap,
+                (3, _) => FaultKind::CheckpointBitFlip { byte: 97 },
+                (_, 0) => FaultKind::Panic,
+                _ => FaultKind::NanPosition { agent_index: fault_iteration as usize * 7 },
+            };
+            let plan = FaultPlan::new().push(site, fault_iteration, kind);
+
+            let mut reference = build(None);
+            reference.simulate(iterations as usize);
+            let mut reference2 = build(None);
+            reference2.simulate(iterations as usize);
+            let reproducible =
+                first_divergence(&fingerprint(&reference), &fingerprint(&reference2)).is_none();
+
+            let mut runner = SupervisedRunner::new(
+                build(Some(plan)),
+                RecoveryPolicy {
+                    ring: RingPolicy { interval, depth, full_every: 2 },
+                    max_attempts: 8,
+                    degradations: Vec::new(),
+                },
+            );
+            let report = runner.run(iterations).unwrap();
+            prop_assert_eq!(report.succeeded, report.attempts);
+            if reproducible {
+                let div =
+                    first_divergence(&fingerprint(&reference), &fingerprint(runner.sim()));
+                prop_assert!(div.is_none(), "diverged: {}", div.unwrap());
+            }
         }
     }
 }
