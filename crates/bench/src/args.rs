@@ -18,6 +18,9 @@ pub struct Args {
     pub threads: Option<usize>,
     /// `--domains N` — virtual NUMA domains (default: detect).
     pub domains: Option<usize>,
+    /// `--shards K` — in-process shard count (sharded execution with halo
+    /// exchange; default 1 = classic single-engine path).
+    pub shards: Option<usize>,
     /// `--models a,b,c` — restrict to a subset of the five models.
     pub models: Option<Vec<String>>,
     /// `--csv` — additionally write `results/<binary>.csv`.
@@ -57,6 +60,7 @@ impl Default for Args {
             iterations: None,
             threads: None,
             domains: None,
+            shards: None,
             models: None,
             csv: false,
             out_dir: PathBuf::from("results"),
@@ -81,6 +85,8 @@ Common flags:
   --iterations N    iterations per measurement
   --threads N       worker threads (default: all available)
   --domains N       virtual NUMA domains (default: detect; see DESIGN.md)
+  --shards K        in-process shard count (SFC partitioning + halo
+                    exchange; default 1 = single engine)
   --models a,b,c    subset of: cell_proliferation, cell_clustering,
                     epidemiology, neuroscience, oncology, cell_sorting
   --repeats N       measurement repetitions, median reported (default 1)
@@ -155,6 +161,7 @@ impl Args {
         args.iterations = parse_usize(&values, "iterations")?;
         args.threads = parse_usize(&values, "threads")?;
         args.domains = parse_usize(&values, "domains")?;
+        args.shards = parse_usize(&values, "shards")?;
         if let Some(r) = parse_usize(&values, "repeats")? {
             args.repeats = r.max(1);
         }
@@ -181,6 +188,7 @@ impl Args {
             "iterations",
             "threads",
             "domains",
+            "shards",
             "repeats",
             "seed",
             "max-exp",
@@ -251,13 +259,16 @@ mod tests {
 
     #[test]
     fn flags_and_values() {
-        let a =
-            parse("--agents 5000 --iterations 20 --csv --threads 2 --domains 4 --seed 7").unwrap();
+        let a = parse(
+            "--agents 5000 --iterations 20 --csv --threads 2 --domains 4 --shards 4 --seed 7",
+        )
+        .unwrap();
         assert_eq!(a.agents, Some(5000));
         assert_eq!(a.iterations, Some(20));
         assert!(a.csv);
         assert_eq!(a.threads, Some(2));
         assert_eq!(a.domains, Some(4));
+        assert_eq!(a.shards, Some(4));
         assert_eq!(a.seed, 7);
     }
 

@@ -10,7 +10,7 @@ use std::process::Command;
 
 use bdm_util::Timer;
 
-const EXPERIMENTS: [(&str, &[&str]); 12] = [
+const EXPERIMENTS: [(&str, &[&str]); 13] = [
     ("table1_characteristics", &[]),
     ("table2_hardware", &[]),
     ("fig05_breakdown", &["--proxy"]),
@@ -23,6 +23,7 @@ const EXPERIMENTS: [(&str, &[&str]); 12] = [
     ("fig11_neighbor", &[]),
     ("fig12_sorting_freq", &[]),
     ("fig13_allocator", &[]),
+    ("sharded_scale", &[]),
 ];
 
 fn main() {

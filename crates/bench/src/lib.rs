@@ -17,6 +17,7 @@
 //! | `fig11_neighbor` | Figure 11 (neighbor-search algorithms) |
 //! | `fig12_sorting_freq` | Figure 12 (agent-sorting frequency study) |
 //! | `fig13_allocator` | Figure 13 (memory allocator comparison) |
+//! | `sharded_scale` | sharded execution: exchange cost and partition balance vs K |
 //! | `run_all` | everything above with `--quick --csv` |
 //!
 //! Criterion microbenches for the individual substrates live in `benches/`.

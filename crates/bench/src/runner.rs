@@ -80,6 +80,9 @@ pub fn param_for(spec: &RunSpec) -> Param {
     }
     param.threads = spec.threads;
     param.numa_domains = spec.domains;
+    if let Some(k) = spec.shards {
+        param.shards = k;
+    }
     param.seed = spec.seed;
     param
 }

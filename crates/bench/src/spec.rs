@@ -57,6 +57,8 @@ pub struct RunSpec {
     pub threads: Option<usize>,
     /// Virtual NUMA domains (`None` = detect).
     pub domains: Option<usize>,
+    /// In-process shard count (`None` = 1, the classic single-engine path).
+    pub shards: Option<usize>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -79,6 +81,7 @@ impl RunSpec {
             parallel_add_remove: None,
             threads: None,
             domains: None,
+            shards: None,
             seed: 4357,
         }
     }
@@ -142,6 +145,9 @@ impl RunSpec {
         }
         if let Some(d) = self.domains {
             let _ = write!(s, " domains={d}");
+        }
+        if let Some(k) = self.shards {
+            let _ = write!(s, " shards={k}");
         }
         s
     }
@@ -211,6 +217,10 @@ impl RunSpec {
             domains: map
                 .get("domains")
                 .map(|v| v.parse().map_err(|_| "bad domains".to_string()))
+                .transpose()?,
+            shards: map
+                .get("shards")
+                .map(|v| v.parse().map_err(|_| "bad shards".to_string()))
                 .transpose()?,
             seed: get("seed")?.parse().map_err(|_| "bad seed".to_string())?,
         })
@@ -458,6 +468,7 @@ mod tests {
         spec.detect_static = Some(true);
         spec.numa_aware = Some(false);
         spec.parallel_add_remove = Some(true);
+        spec.shards = Some(4);
         spec.seed = 99;
         let parsed = RunSpec::from_kv(&spec.to_kv()).unwrap();
         assert_eq!(spec, parsed);

@@ -137,7 +137,7 @@ pub fn checkpoint_delta(sim: &Simulation, base: &Baseline) -> Result<Vec<u8>, Ch
                 n == base.grid_versions.len()
                     && (0..n).all(|i| sim.diffusion_grid(i).version() == base.grid_versions[i])
             }
-            _ => false, // COUNTERS: always written
+            _ => false, // COUNTERS and SHARDS: always written (both tiny)
         };
         if !unchanged {
             kept.push((t, payload));
@@ -215,7 +215,7 @@ pub fn restore_chain_with(
     restore_merged(&merged, registry, build)
 }
 
-/// Encodes the six sections in canonical order.
+/// Encodes the seven sections in canonical order.
 fn encode_sections(sim: &Simulation) -> Result<Vec<([u8; 4], Vec<u8>)>, CheckpointError> {
     let mid = sim.scheduler().mid_iteration();
     Ok(vec![
@@ -225,12 +225,13 @@ fn encode_sections(sim: &Simulation) -> Result<Vec<([u8; 4], Vec<u8>)>, Checkpoi
         (tag::AGENTS, sections::write_agents(sim)?),
         (tag::DIFFUSION, sections::write_diffusion(sim)),
         (tag::SCHEDULER, sections::write_scheduler(sim)),
+        (tag::SHARDS, sections::write_shards(sim)),
     ])
 }
 
-/// Extracts all six sections of a full checkpoint, in [`wire::ALL_TAGS`]
+/// Extracts all seven sections of a full checkpoint, in [`wire::ALL_TAGS`]
 /// order, erroring on any missing one.
-fn collect_full<'a>(parsed: &wire::Parsed<'a>) -> Result<[&'a [u8]; 6], CheckpointError> {
+fn collect_full<'a>(parsed: &wire::Parsed<'a>) -> Result<[&'a [u8]; 7], CheckpointError> {
     Ok([
         parsed.require(tag::PARAM)?,
         parsed.require(tag::FORCE)?,
@@ -238,6 +239,7 @@ fn collect_full<'a>(parsed: &wire::Parsed<'a>) -> Result<[&'a [u8]; 6], Checkpoi
         parsed.require(tag::AGENTS)?,
         parsed.require(tag::DIFFUSION)?,
         parsed.require(tag::SCHEDULER)?,
+        parsed.require(tag::SHARDS)?,
     ])
 }
 
@@ -245,13 +247,19 @@ fn collect_full<'a>(parsed: &wire::Parsed<'a>) -> Result<[&'a [u8]; 6], Checkpoi
 /// [`wire::ALL_TAGS`] order). Builds a fresh simulation; nothing observable
 /// escapes on error.
 fn restore_merged(
-    merged: &[&[u8]; 6],
+    merged: &[&[u8]; 7],
     registry: &Registry,
     build: impl FnOnce(Param) -> Simulation,
 ) -> Result<Simulation, CheckpointError> {
     let mut param = sections::read_param(merged[0])?;
     let force = sections::read_force(merged[1])?;
     let counters = sections::read_counters(merged[2])?;
+    // Validation only: the partition manifest is checked for internal
+    // consistency but never fed back — the partition is a pure function of
+    // agent state and is recomputed at the first halo exchange, so the
+    // restored simulation may run with any shard count (the `build` hook
+    // can override `param.shards` freely).
+    sections::read_shards(merged[6])?;
 
     // Pin the captured run's concrete topology: partitioning and domain
     // assignment must replay exactly regardless of this machine's defaults

@@ -72,6 +72,8 @@ pub fn write_param(p: &Param) -> Vec<u8> {
     }
     opt_u64(&mut w, h.max_agents);
     w.put_u8(u8::from(h.check_diffusion));
+    // Shard count (format v3).
+    w.put_u64(p.shards as u64);
     w.into_bytes()
 }
 
@@ -153,6 +155,16 @@ pub fn read_param(payload: &[u8]) -> Result<Param, CheckpointError> {
         max_agents: health_max_agents,
         check_diffusion: health_check_diffusion,
     });
+    let shards = r.take_u64().map_err(truncated(S_PARAM))? as usize;
+    if !(1..=bdm_core::MAX_SHARDS).contains(&shards) {
+        return Err(malformed(S_PARAM, format!("invalid shard count {shards}")));
+    }
+    if shards > 1 && environment != EnvironmentKind::UniformGrid {
+        return Err(malformed(
+            S_PARAM,
+            format!("{shards} shards with non-uniform-grid environment"),
+        ));
+    }
     if !r.is_exhausted() {
         return Err(malformed(
             S_PARAM,
@@ -180,8 +192,92 @@ pub fn read_param(payload: &[u8]) -> Result<Param, CheckpointError> {
         mem_mgr_growth_rate,
         neighbor_access,
         box_batched_mechanics,
+        shards,
         health,
     })
+}
+
+// ---------------------------------------------------------------------------
+// SHARDS
+
+const S_SHRD: &str = "SHARDS";
+
+/// Encodes the shard-partition manifest of the last halo exchange (see
+/// [`bdm_core::ShardManifest`]): shard count, the Morton-code range of each
+/// shard, and the per-shard owned-agent counts. Unsharded runs (and sharded
+/// runs that have not exchanged yet) write an empty manifest (shard count
+/// 0). The manifest is **validation-only** on restore — the partition is a
+/// pure function of agent state and is recomputed from scratch, which is
+/// what makes restoring into a *different* shard count bitwise-safe.
+pub fn write_shards(sim: &Simulation) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match sim.shard_manifest() {
+        Some(m) => {
+            w.put_u64(m.shards);
+            for (begin, end) in &m.ranges {
+                w.put_u64(*begin);
+                w.put_u64(*end);
+            }
+            for owned in &m.owned {
+                w.put_u64(*owned);
+            }
+        }
+        None => w.put_u64(0),
+    }
+    w.into_bytes()
+}
+
+/// Decodes and validates a [`write_shards`] payload: the ranges must tile
+/// the full Morton-code space contiguously and the counts must be
+/// per-shard complete. The decoded manifest is returned for inspection but
+/// never fed back into the engine.
+pub fn read_shards(payload: &[u8]) -> Result<Option<bdm_core::ShardManifest>, CheckpointError> {
+    let r = &mut ByteReader::new(payload);
+    let shards = r.take_u64().map_err(truncated(S_SHRD))?;
+    if shards == 0 {
+        if !r.is_exhausted() {
+            return Err(malformed(
+                S_SHRD,
+                format!("{} trailing bytes", r.remaining()),
+            ));
+        }
+        return Ok(None);
+    }
+    if shards as usize > bdm_core::MAX_SHARDS {
+        return Err(malformed(S_SHRD, format!("invalid shard count {shards}")));
+    }
+    let mut ranges = Vec::with_capacity(shards as usize);
+    for _ in 0..shards {
+        let begin = r.take_u64().map_err(truncated(S_SHRD))?;
+        let end = r.take_u64().map_err(truncated(S_SHRD))?;
+        ranges.push((begin, end));
+    }
+    let mut owned = Vec::with_capacity(shards as usize);
+    for _ in 0..shards {
+        owned.push(r.take_u64().map_err(truncated(S_SHRD))?);
+    }
+    if !r.is_exhausted() {
+        return Err(malformed(
+            S_SHRD,
+            format!("{} trailing bytes", r.remaining()),
+        ));
+    }
+    if ranges[0].0 != 0 || ranges[shards as usize - 1].1 != u64::MAX {
+        return Err(malformed(S_SHRD, "ranges do not cover the code space"));
+    }
+    for w in ranges.windows(2) {
+        if w[0].1 != w[1].0 {
+            return Err(malformed(
+                S_SHRD,
+                format!("ranges not contiguous at {:#018x}/{:#018x}", w[0].1, w[1].0),
+            ));
+        }
+    }
+    Ok(Some(bdm_core::ShardManifest {
+        shards,
+        ranges,
+        owned,
+    }))
 }
 
 // ---------------------------------------------------------------------------

@@ -3,13 +3,13 @@
 //! ```text
 //! offset  size  field
 //! 0       8     magic  b"BDMCKPT\0"
-//! 8       4     format version (u32 LE, currently 1)
+//! 8       4     format version (u32 LE, currently 3)
 //! 12      1     kind: 0 = full, 1 = delta
 //! 13      8     base file id (u64 LE): fnv1a64 of the base full
 //!               checkpoint's bytes for deltas, 0 for full checkpoints
 //! 21      4     section count (u32 LE)
 //!         ...   sections, each:
-//!                 4   tag (ASCII fourcc: PARM FORC CNTR AGNT DIFF SCHD)
+//!                 4   tag (ASCII fourcc: PARM FORC CNTR AGNT DIFF SCHD SHRD)
 //!                 8   payload length (u64 LE)
 //!                 8   payload checksum: fnv1a64(payload)
 //!                 n   payload
@@ -27,8 +27,10 @@ use crate::error::{truncated, CheckpointError};
 /// File magic.
 pub const MAGIC: [u8; 8] = *b"BDMCKPT\0";
 /// Current format version. v2 extended the PARAM section with the health
-/// sentinel policy; v1 files are rejected rather than silently misread.
-pub const FORMAT_VERSION: u32 = 2;
+/// sentinel policy; v3 appended the shard count to PARAM and added the
+/// SHARDS section (the partition manifest of sharded runs). Older files are
+/// rejected rather than silently misread.
+pub const FORMAT_VERSION: u32 = 3;
 /// Header `kind` byte of a full checkpoint.
 pub const KIND_FULL: u8 = 0;
 /// Header `kind` byte of a delta checkpoint.
@@ -48,16 +50,20 @@ pub mod tag {
     pub const DIFFUSION: [u8; 4] = *b"DIFF";
     /// Scheduler op list state.
     pub const SCHEDULER: [u8; 4] = *b"SCHD";
+    /// Shard-partition manifest of sharded runs (validation-only on
+    /// restore: the partition is recomputed from state).
+    pub const SHARDS: [u8; 4] = *b"SHRD";
 }
 
-/// All six tags in canonical order (also the write order).
-pub const ALL_TAGS: [[u8; 4]; 6] = [
+/// All seven tags in canonical order (also the write order).
+pub const ALL_TAGS: [[u8; 4]; 7] = [
     tag::PARAM,
     tag::FORCE,
     tag::COUNTERS,
     tag::AGENTS,
     tag::DIFFUSION,
     tag::SCHEDULER,
+    tag::SHARDS,
 ];
 
 /// Human-readable section name for error messages.
@@ -69,6 +75,7 @@ pub fn tag_name(t: [u8; 4]) -> &'static str {
         b"AGNT" => "AGENTS",
         b"DIFF" => "DIFFUSION",
         b"SCHD" => "SCHEDULER",
+        b"SHRD" => "SHARDS",
         _ => "unknown",
     }
 }

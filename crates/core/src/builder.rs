@@ -189,6 +189,15 @@ impl SimulationBuilder {
         self
     }
 
+    /// In-process shard count K (sharded execution with SFC-range
+    /// partitioning and halo exchange; see [`crate::sharded`] and
+    /// [`Param::shards`]). `1` (the default) is the classic single-engine
+    /// path; results are bitwise identical for every K.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.param.shards = shards;
+        self
+    }
+
     /// Enables the built-in health sentinel with `policy` (registers the
     /// `health_check` operation; see [`crate::supervisor`]).
     pub fn health(mut self, policy: HealthPolicy) -> Self {

@@ -23,7 +23,9 @@
 
 use bdm_alloc::MemoryManager;
 use bdm_diffusion::DiffusionGrid;
-use bdm_env::{Environment, NeighborQueryScratch, PointCloud, StencilRuns};
+use bdm_env::{
+    Environment, NeighborQueryScratch, PointCloud, SliceCloud, StencilRuns, UniformGridEnvironment,
+};
 use bdm_util::{Real3, SimRng};
 
 use crate::agent::{new_agent_box, Agent, AgentBox, AgentHandle, AgentUid};
@@ -328,6 +330,10 @@ pub(crate) struct StencilCache {
     build: u64,
     /// Box coordinates the runs belong to.
     bc: [u32; 3],
+    /// Shard grid the runs were resolved against (`u32::MAX` for the global
+    /// grid). The K shard grids have *independent* build counters, so
+    /// `(build, bc)` alone could collide across them.
+    shard: u32,
     /// The resolved runs.
     runs: StencilRuns,
 }
@@ -363,11 +369,35 @@ impl ExecutionContext {
     }
 }
 
+/// The per-agent view of sharded execution (see
+/// [`crate::sharded`]): neighbor queries run against the owning shard's
+/// windowed grid instead of the global environment, and the grid's
+/// shard-local indices are remapped to global ones before any kernel sees
+/// them — behaviors and forces are shard-oblivious.
+#[derive(Clone, Copy)]
+pub(crate) struct ShardView<'a> {
+    /// The owning shard's windowed grid (built over owned + halo members).
+    pub grid: &'a UniformGridEnvironment,
+    /// Shard-local → global index map (ascending).
+    pub members: &'a [u32],
+    /// Shard-local member positions — the point cloud behind the
+    /// trait-object query fallback when the SoA cache is off.
+    pub positions: &'a [Real3],
+    /// Shard-local index of the current agent (the query's self-exclusion).
+    pub self_local: u32,
+    /// Shard id — discriminates the per-worker stencil cache across shard
+    /// grids, whose build counters are independent.
+    pub shard: u32,
+}
+
 /// Everything a behavior may touch while its agent is being processed.
 pub struct AgentContext<'a> {
     pub(crate) exec: &'a mut ExecutionContext,
     pub(crate) env: &'a dyn Environment,
     pub(crate) snapshot: &'a Snapshot,
+    /// Sharded execution: the owning shard's grid + index remap. `None` on
+    /// the single-engine path.
+    pub(crate) shard: Option<ShardView<'a>>,
     pub(crate) mm: &'a MemoryManager,
     pub(crate) diffusion: &'a [DiffusionGrid],
     /// NUMA domain new agents are allocated on (the worker's domain).
@@ -432,6 +462,55 @@ impl<'a> AgentContext<'a> {
         mut f: impl FnMut(usize, Neighbor<'_>, f64),
     ) {
         let snapshot = self.snapshot;
+        if let Some(sv) = self.shard {
+            // Sharded path: query the owning shard's windowed grid and remap
+            // its local indices to global before the kernel sees them. The
+            // shard grid holds exactly the within-radius agents the global
+            // grid holds (halo completeness) in the same relative order
+            // (ascending-global member insertion), so the visit sequence is
+            // bitwise that of the single-engine query.
+            let members = sv.members;
+            let exclude = Some(sv.self_local as usize);
+            let served = sv
+                .grid
+                .for_each_neighbor_soa(pos, exclude, radius, |idx, p, d2| {
+                    let g = members[idx] as usize;
+                    f(
+                        g,
+                        Neighbor {
+                            snapshot,
+                            index: g,
+                            position: p,
+                        },
+                        d2,
+                    )
+                });
+            if !served {
+                let cloud = SliceCloud(sv.positions);
+                let scratch = &mut self.exec.query_scratch;
+                Environment::for_each_neighbor(
+                    sv.grid,
+                    &cloud,
+                    pos,
+                    exclude,
+                    radius,
+                    scratch,
+                    &mut |idx, p, d2| {
+                        let g = members[idx] as usize;
+                        f(
+                            g,
+                            Neighbor {
+                                snapshot,
+                                index: g,
+                                position: p,
+                            },
+                            d2,
+                        )
+                    },
+                );
+            }
+            return;
+        }
         // Fast path: the uniform grid's SoA cache with the kernel closure
         // monomorphized straight into the nine-run scan — no virtual call
         // per query or per neighbor (the dominant cost at 10⁶ agents).
@@ -506,9 +585,23 @@ impl<'a> AgentContext<'a> {
         radius: f64,
         f: &mut impl FnMut(usize, Real3, f64, f64),
     ) -> bool {
-        let env = self.env;
-        let Some(grid) = env.as_uniform_grid() else {
-            return false;
+        // Sharded execution scans the owning shard's grid (local indices,
+        // remapped to global on accept); the single-engine path scans the
+        // global grid (indices already global, marked by the `u32::MAX`
+        // shard key in the stencil cache).
+        let (grid, exclude, shard_key, members): (
+            &UniformGridEnvironment,
+            usize,
+            u32,
+            Option<&[u32]>,
+        ) = match self.shard {
+            Some(sv) => (sv.grid, sv.self_local as usize, sv.shard, Some(sv.members)),
+            None => {
+                let Some(grid) = self.env.as_uniform_grid() else {
+                    return false;
+                };
+                (grid, self.self_global, u32::MAX, None)
+            }
         };
         if !grid.radius_within_build(radius) {
             return false;
@@ -519,13 +612,17 @@ impl<'a> AgentContext<'a> {
         let bc = grid.box_coordinates(pos);
         let build = grid.build_count();
         let cache = &mut self.exec.mech_stencil;
-        if cache.build != build || cache.bc != bc {
+        if cache.build != build || cache.bc != bc || cache.shard != shard_key {
             let Some(runs) = grid.stencil_runs(bc) else {
                 return false;
             };
-            *cache = StencilCache { build, bc, runs };
+            *cache = StencilCache {
+                build,
+                bc,
+                shard: shard_key,
+                runs,
+            };
         }
-        let exclude = self.self_global;
         let r2 = radius * radius;
         for &(start, end) in cache.runs.runs() {
             let (start, end) = (start as usize, end as usize);
@@ -543,7 +640,11 @@ impl<'a> AgentContext<'a> {
                     if idx != exclude {
                         // SAFETY: same bound as `slots` above.
                         let diameter = unsafe { *diameters.get_unchecked(i) };
-                        f(idx, s.position, diameter, d2);
+                        let g = match members {
+                            Some(m) => m[idx] as usize,
+                            None => idx,
+                        };
+                        f(g, s.position, diameter, d2);
                     }
                 }
             }

@@ -19,6 +19,8 @@
 //! * [`param`] — parameters and the optimization ladder of the evaluation.
 //! * [`scheduler`] — the first-class [`Operation`] pipeline of Algorithm 1:
 //!   ordered op list, per-op frequencies and timings, built-in phases.
+//! * [`sharded`] — in-process sharded execution: SFC-range partitioning,
+//!   halo exchange, per-shard windowed grids; bitwise shard-count-invariant.
 //! * [`builder`] — fluent [`SimulationBuilder`] construction.
 //! * [`simulation`] — the simulation object driving the scheduler.
 //! * [`supervisor`] — health sentinels: typed runtime state validation
@@ -40,6 +42,7 @@ pub(crate) mod ops;
 pub mod param;
 pub mod resource_manager;
 pub mod scheduler;
+pub mod sharded;
 pub mod simulation;
 pub(crate) mod sorting;
 pub mod supervisor;
@@ -57,6 +60,7 @@ pub use force::InteractionForce;
 pub use param::{OptLevel, Param};
 pub use resource_manager::{CommitStats, ResourceManager, StaticFlags};
 pub use scheduler::{builtin, OpInfo, OpKind, Operation, Scheduler, SimulationCtx};
+pub use sharded::{ShardManifest, ShardReport, ShardStats, MAX_SHARDS};
 pub use simulation::{SimStats, Simulation, StandaloneOp};
 pub use supervisor::{HealthPolicy, HealthViolation, HealthViolationKind};
 

@@ -84,6 +84,17 @@ pub struct Param {
     /// pins the scalar path (parity tests and A/B measurements). On by
     /// default.
     pub box_batched_mechanics: bool,
+    /// In-process shard count K (see [`crate::sharded`]). `1` (the
+    /// default) runs the classic single-engine path. `K > 1` partitions
+    /// the population into K SFC-range shards, registers the built-in
+    /// `halo_exchange` operation between `snapshot` and
+    /// `environment_update`, and builds K windowed per-shard grids instead
+    /// of the global index. Results are **bitwise identical for every K**
+    /// as long as behaviors respect the sharding movement contract (no
+    /// agent moves more than one interaction radius per iteration before
+    /// its neighbor queries). Requires the uniform-grid environment;
+    /// capped at [`MAX_SHARDS`](crate::sharded::MAX_SHARDS).
+    pub shards: usize,
     /// Health-sentinel policy: when set, the default scheduler registers
     /// the built-in `health_check` operation with the policy's frequency,
     /// scanning for non-finite state, bounds escapes, and agent-count
@@ -116,6 +127,7 @@ impl Default for Param {
             mem_mgr_growth_rate: 2.0,
             neighbor_access: NeighborAccess::ALL,
             box_batched_mechanics: true,
+            shards: 1,
             health: None,
         }
     }

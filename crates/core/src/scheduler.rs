@@ -28,6 +28,11 @@ use crate::simulation::{Simulation, StandaloneOp};
 pub mod builtin {
     /// Gathers positions/diameters/payloads into the iteration snapshot.
     pub const SNAPSHOT: &str = "snapshot";
+    /// Partitions the snapshot across shards and rebuilds the per-shard
+    /// halo clouds (registered when
+    /// [`Param::shards`](crate::param::Param::shards) > 1; see
+    /// [`crate::sharded`]).
+    pub const HALO_EXCHANGE: &str = "halo_exchange";
     /// Rebuilds the neighbor-search index (uniform grid / kd-tree / octree).
     pub const ENVIRONMENT: &str = "environment_update";
     /// Behaviors + mechanical forces for every agent, in parallel.
@@ -692,6 +697,23 @@ impl Operation for SnapshotOp {
     }
     fn run(&mut self, ctx: &mut SimulationCtx<'_>) {
         ctx.sim.phase_snapshot();
+    }
+}
+
+pub(crate) struct HaloExchangeOp;
+
+impl Operation for HaloExchangeOp {
+    fn neighbor_access(&self) -> NeighborAccess {
+        NeighborAccess::NONE
+    }
+    fn name(&self) -> &str {
+        builtin::HALO_EXCHANGE
+    }
+    fn kind(&self) -> OpKind {
+        OpKind::Pre
+    }
+    fn run(&mut self, ctx: &mut SimulationCtx<'_>) {
+        ctx.sim.phase_halo_exchange();
     }
 }
 

@@ -30,7 +30,7 @@ use bdm_util::{Real3, TimeBuckets};
 use crate::agent::{new_agent_box, Agent, AgentHandle, AgentUid};
 use crate::builder::SimulationBuilder;
 use crate::context::{
-    agent_rng, AgentContext, ExecutionContext, NeighborAccess, Snapshot, SnapshotCloud,
+    agent_rng, AgentContext, ExecutionContext, NeighborAccess, ShardView, Snapshot, SnapshotCloud,
 };
 use crate::faults::{FaultKind, FaultPlan, FaultSite};
 use crate::force::InteractionForce;
@@ -38,9 +38,10 @@ use crate::ops::{run_behaviors, run_mechanics, MechanicsConfig, ViolationTable};
 use crate::param::Param;
 use crate::resource_manager::{CommitStats, ResourceManager, ResourceManagerCloud};
 use crate::scheduler::{
-    builtin, AgentOp, ClosureOp, DiffusionOp, EnvironmentOp, Scheduler, SimulationCtx, SnapshotOp,
-    SortingOp, TeardownOp,
+    builtin, AgentOp, ClosureOp, DiffusionOp, EnvironmentOp, HaloExchangeOp, Scheduler,
+    SimulationCtx, SnapshotOp, SortingOp, TeardownOp,
 };
+use crate::sharded::{ShardManifest, ShardReport, ShardedState, MAX_SHARDS};
 use crate::sorting::sort_and_balance;
 use crate::supervisor::{HealthCheckOp, HealthMonitor, HealthViolation, HealthViolationKind};
 
@@ -128,6 +129,10 @@ pub struct Simulation {
     /// `environment_update` remaps agent indices even when the count is
     /// unchanged, so freshness is generation equality, not a length check.
     snapshot_generation: u64,
+    /// Sharded execution state ([`Param::shards`] > 1): SFC-range
+    /// partition, per-shard clouds and grids, halo-exchange bookkeeping.
+    /// `None` on the single-engine path.
+    sharded: Option<ShardedState>,
     /// Bounded log of typed health violations (sentinel findings).
     health: HealthMonitor,
     /// Planned fault injections; `None` (the default) keeps every injection
@@ -138,6 +143,17 @@ pub struct Simulation {
 impl Simulation {
     /// Creates a simulation from parameters.
     pub fn new(param: Param) -> Simulation {
+        assert!(
+            param.shards >= 1 && param.shards <= MAX_SHARDS,
+            "Param::shards must be in 1..={MAX_SHARDS}, got {}",
+            param.shards
+        );
+        assert!(
+            param.shards == 1 || param.environment == bdm_env::EnvironmentKind::UniformGrid,
+            "sharded execution (Param::shards > 1) requires the uniform-grid \
+             environment, got {:?}",
+            param.environment
+        );
         let mut topology = NumaTopology::detect();
         if param.threads.is_some() || param.numa_domains.is_some() {
             let threads = param.threads.unwrap_or_else(|| topology.num_threads());
@@ -166,6 +182,7 @@ impl Simulation {
         // owning domain take the thread-private fast path (Figure 4B).
         pool.broadcast(&|wctx| bdm_alloc::register_thread(wctx.thread_id, wctx.domain));
         let env = param.environment.create();
+        let sharded = (param.shards > 1).then(|| ShardedState::new(param.shards));
         Simulation {
             rm: ResourceManager::new(num_domains),
             ctxs: (0..num_threads)
@@ -190,6 +207,7 @@ impl Simulation {
             step_access: NeighborAccess::ALL,
             snapshot_iteration: 0,
             snapshot_generation: 0,
+            sharded,
             health: HealthMonitor::default(),
             faults: None,
         }
@@ -440,6 +458,25 @@ impl Simulation {
         self.env.memory_bytes()
     }
 
+    /// Per-shard execution report — owned/halo counts, grid-build times,
+    /// exchange counters ([`Param::shards`] > 1; `None` on the
+    /// single-engine path).
+    pub fn shard_report(&self) -> Option<ShardReport> {
+        self.sharded.as_ref().map(ShardedState::report)
+    }
+
+    /// Partition manifest of the last halo exchange (`None` on the
+    /// single-engine path or before the first exchange) — recorded in the
+    /// checkpoint's `SHRD` section for audit; restore recomputes the
+    /// partition from state, so a checkpoint restores into *any* shard
+    /// count bitwise-identically.
+    pub fn shard_manifest(&self) -> Option<ShardManifest> {
+        self.sharded
+            .as_ref()
+            .filter(|s| s.exchanges > 0)
+            .map(ShardedState::manifest)
+    }
+
     /// The per-iteration snapshot gathered by the `snapshot` operation —
     /// SoA arrays of every agent's position/diameter/payload at the start
     /// of the current iteration (see [`Snapshot`]). A custom operation
@@ -493,7 +530,9 @@ impl Simulation {
     ///
     /// [`HealthPolicy::bounds`]: crate::supervisor::HealthPolicy::bounds
     /// [`HealthPolicy::max_agents`]: crate::supervisor::HealthPolicy::max_agents
-    /// [`HealthPolicy::check_diffusion`]: crate::supervisor::HealthPolicy::check_diffusion Findings are recorded as typed
+    /// [`HealthPolicy::check_diffusion`]: crate::supervisor::HealthPolicy::check_diffusion
+    ///
+    /// Findings are recorded as typed
     /// [`HealthViolation`]s (capped; exact totals in
     /// [`SimStats::violations_detected`]) and the number found by *this*
     /// scan is returned. The scan mutates nothing step-relevant, so it never
@@ -629,6 +668,13 @@ impl Simulation {
     pub fn set_environment_kind(&mut self, kind: bdm_env::EnvironmentKind) {
         self.param.environment = kind;
         self.env = kind.create();
+        if kind != bdm_env::EnvironmentKind::UniformGrid {
+            // Sharded execution is grid-only; degrading the backend also
+            // degrades to the single-engine path (results stay bitwise —
+            // shard-count invariance means K shards and one engine agree).
+            self.param.shards = 1;
+            self.sharded = None;
+        }
         // The old snapshot still matches the agents; only the index is new.
         self.snapshot_generation = self.snapshot_generation.wrapping_sub(1);
     }
@@ -808,12 +854,54 @@ impl Simulation {
             .unwrap_or_else(|| self.snapshot.max_diameter.max(1e-6));
     }
 
+    /// The `halo_exchange` operation ([`Param::shards`] > 1): partitions
+    /// the snapshot by Morton-code range and rebuilds the per-shard member
+    /// clouds — owned agents plus read-only halo copies of every agent
+    /// within the halo width of the shard's SFC-range frontier. Runs
+    /// between `snapshot` and `environment_update`; skipped entirely (the
+    /// engine degrades to the single-engine path for the iteration) when
+    /// the snapshot is not fresh.
+    pub(crate) fn phase_halo_exchange(&mut self) {
+        let n = self.rm.num_agents();
+        let snapshot_fresh = self.snapshot_iteration == self.iteration
+            && self.snapshot_generation == self.rm.generation()
+            && self.snapshot.len() == n;
+        // Halo width in boxes (box length == interaction radius):
+        //   * ring 1 — the query stencil around the query center's box;
+        //   * ring 2 — behaviors may move an agent before mechanics
+        //     queries at its live position (division offset, chemotaxis,
+        //     random walks). The sharding contract caps that movement at
+        //     one interaction radius per iteration;
+        //   * static detection additionally queries at the post-mechanics
+        //     position, up to the displacement cap further out.
+        let halo_width = 2 + if self.param.detect_static_agents && self.step_radius > 0.0 {
+            (self.param.simulation_max_displacement / self.step_radius).floor() as u32 + 1
+        } else {
+            0
+        };
+        let (snapshot, generation, radius, iteration) = (
+            &self.snapshot,
+            self.rm.generation(),
+            self.step_radius,
+            self.iteration,
+        );
+        if let Some(st) = self.sharded.as_mut() {
+            if snapshot_fresh {
+                st.exchange(snapshot, radius, generation, iteration, halo_width);
+            } else {
+                st.deactivate();
+            }
+        }
+    }
+
     /// The `environment_update` operation: rebuilds the neighbor index
     /// (Algorithm 1 L3–5). The rebuild reads positions from the snapshot
     /// gathered this iteration (contiguous memory, bounds already known)
     /// whenever it is fresh; without a fresh snapshot — e.g. a custom
     /// pipeline that dropped the snapshot op — it falls back to reading the
-    /// agents directly.
+    /// agents directly. Under sharded execution with a completed halo
+    /// exchange, the K per-shard windowed grids are built instead of the
+    /// global index.
     pub(crate) fn phase_environment(&mut self) {
         self.fire_grid_fault();
         let n = self.rm.num_agents();
@@ -825,6 +913,14 @@ impl Simulation {
         } else {
             BoxListPolicy::IfNeeded
         };
+        let scatter = self.step_access.contains(NeighborAccess::DIAMETERS);
+        let (radius, bounds, iteration) = (self.step_radius, self.snapshot.bounds, self.iteration);
+        if let Some(st) = self.sharded.as_mut() {
+            if st.active_iteration == iteration {
+                st.build_grids(box_lists, scatter, radius, bounds);
+                return;
+            }
+        }
         let snapshot_fresh = self.snapshot_iteration == self.iteration
             && self.snapshot_generation == self.rm.generation()
             && self.snapshot.len() == n;
@@ -836,6 +932,7 @@ impl Simulation {
                 // force always does) → the grid scatters them box-sorted
                 // next to its query slots so those reads stream.
                 scatter_diameters: self.step_access.contains(NeighborAccess::DIAMETERS),
+                grid_frame: None,
             };
             let cloud = SnapshotCloud(&self.snapshot);
             self.env.update_with(&cloud, self.step_radius, hint);
@@ -847,6 +944,7 @@ impl Simulation {
                 // scatter from (the resource-manager cloud reads agents
                 // through pointers); readers use the lazy fallback.
                 scatter_diameters: false,
+                grid_frame: None,
             };
             let cloud = ResourceManagerCloud::new(&self.rm);
             self.env.update_with(&cloud, self.step_radius, hint);
@@ -910,6 +1008,11 @@ impl Simulation {
         // Without population changes the index is merely position-stale,
         // which is harmless — the sort only needs *a* consistent spatial
         // binning of the current index set.
+        let box_lists = if self.step_box_lists {
+            BoxListPolicy::Always
+        } else {
+            BoxListPolicy::IfNeeded
+        };
         if (self.step_commit.added > 0 || self.step_commit.removed > 0) && self.rm.num_agents() > 0
         {
             let cloud = ResourceManagerCloud::new(&self.rm);
@@ -919,14 +1022,32 @@ impl Simulation {
             // `requires_box_lists` may still run after this rebuild, so
             // its capability request carries over.
             let hint = UpdateHint {
-                build_box_lists: if self.step_box_lists {
-                    BoxListPolicy::Always
-                } else {
-                    BoxListPolicy::IfNeeded
-                },
+                build_box_lists: box_lists,
                 known_bounds: None,
                 scatter_diameters: false,
+                grid_frame: None,
             };
+            self.env.update_with(&cloud, self.step_radius, hint);
+        } else if self.rm.num_agents() > 0
+            && self
+                .sharded
+                .as_ref()
+                .is_some_and(|s| s.active_iteration == self.iteration)
+        {
+            // Sharded iteration without population changes: the K shard
+            // grids served the agent phase and the *global* index was never
+            // built. The sort needs a global index over the iteration's
+            // agents — rebuild it from the same snapshot with the same hint
+            // the single-engine `environment_update` would have used, so
+            // the resulting box order (and therefore the sorted agent
+            // permutation) is bitwise that of the single-engine run.
+            let hint = UpdateHint {
+                build_box_lists: box_lists,
+                known_bounds: self.snapshot.bounds,
+                scatter_diameters: self.step_access.contains(NeighborAccess::DIAMETERS),
+                grid_frame: None,
+            };
+            let cloud = SnapshotCloud(&self.snapshot);
             self.env.update_with(&cloud, self.step_radius, hint);
         }
         if let Some(grid) = self.env.as_uniform_grid() {
@@ -1064,6 +1185,16 @@ impl Simulation {
         };
         let ctxs_ptr = SendMut::new(self.ctxs.as_mut_ptr());
         let env = &*self.env;
+        // Sharded execution: the parallel loop below is *identical* to the
+        // single-engine one (same splitter, same blocks, same per-thread
+        // contexts) — only the per-agent neighbor-query target differs.
+        // Each agent queries its owning shard's windowed grid through a
+        // `ShardView` that remaps shard-local hits back to global indices,
+        // so kernels (and FP summation order) never see the partition.
+        let shard_state = self
+            .sharded
+            .as_ref()
+            .filter(|s| s.active_iteration == self.iteration);
         let snapshot = &self.snapshot;
         let mm = &self.mm;
         let diffusion = &self.diffusion[..];
@@ -1093,10 +1224,21 @@ impl Simulation {
                     let agent: &mut dyn Agent = &mut **agent_box;
                     let global = offsets_ref[domain] + i;
                     let uid = agent.uid();
+                    let shard = shard_state.map(|st| {
+                        let s = st.owner[global] as usize;
+                        ShardView {
+                            grid: &st.grids[s],
+                            members: &st.clouds[s].members,
+                            positions: &st.clouds[s].positions,
+                            self_local: st.local_of[global],
+                            shard: s as u32,
+                        }
+                    });
                     let mut actx = AgentContext {
                         exec,
                         env,
                         snapshot,
+                        shard,
                         mm,
                         diffusion,
                         alloc_domain: worker.domain,
@@ -1185,7 +1327,14 @@ impl Simulation {
 /// `parallel_add_remove` configures `teardown`.
 fn default_scheduler(param: &Param) -> Scheduler {
     let mut scheduler = Scheduler::new();
+    // Between snapshot and index rebuild: the exchange partitions the
+    // fresh snapshot; `environment_update` then builds the K shard grids
+    // instead of the global index. Registered for every configuration (a
+    // no-op at K == 1) so the pipeline shape — and hence the checkpoint's
+    // scheduler section — is independent of the shard count and a
+    // checkpoint restores into any K.
     scheduler.add_op(SnapshotOp);
+    scheduler.add_op(HaloExchangeOp);
     scheduler.add_op(EnvironmentOp);
     scheduler.add_op(AgentOp);
     scheduler.add_op_in_bucket(Box::new(DiffusionOp), builtin::STANDALONE_BUCKET);

@@ -11,9 +11,11 @@
 //!   `default_scheduler` whenever the policy is present).
 //! * [`HealthViolation`] / [`HealthViolationKind`] — a typed finding: which
 //!   agent, which field, which iteration — instead of a panic.
-//! * The built-in `health_check` [`Operation`](crate::scheduler::Operation)
-//!   (name [`builtin::HEALTH_CHECK`](crate::scheduler::builtin::HEALTH_CHECK)),
-//!   which runs [`Simulation::run_health_check`] at the configured frequency
+//! * The built-in `health_check` [`Operation`]
+//!   (name [`builtin::HEALTH_CHECK`]),
+//!   which runs
+//!   [`Simulation::run_health_check`](crate::Simulation::run_health_check)
+//!   at the configured frequency
 //!   as the last `Post` stage of the pipeline.
 //! * Process-global *write sentinels* ([`write_sentinel_counts`]) that count
 //!   non-finite position / invalid diameter writes at the setter itself —

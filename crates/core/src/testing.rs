@@ -284,3 +284,27 @@ pub fn assert_identical(a: &SimFingerprint, b: &SimFingerprint, context: &str) {
         panic!("{context}: states diverge — {d}");
     }
 }
+
+/// Shard count for determinism tests, from `BDM_TEST_SHARDS` (default 1).
+///
+/// CI runs the determinism matrix at `BDM_TEST_SHARDS` ∈ {1, 4}: because
+/// results are bitwise shard-count-invariant (`tests/sharded_conformance.rs`),
+/// every bit-reproducibility test must pass unchanged on the sharded path.
+/// Only tests running on the uniform grid may use this — `shards > 1`
+/// requires [`EnvironmentKind::UniformGrid`](crate::EnvironmentKind).
+pub fn test_shards() -> usize {
+    match std::env::var("BDM_TEST_SHARDS") {
+        Ok(v) => {
+            let k: usize = v
+                .parse()
+                .unwrap_or_else(|_| panic!("BDM_TEST_SHARDS: not a number: {v}"));
+            assert!(
+                (1..=crate::MAX_SHARDS).contains(&k),
+                "BDM_TEST_SHARDS must be in 1..={}, got {k}",
+                crate::MAX_SHARDS
+            );
+            k
+        }
+        Err(_) => 1,
+    }
+}

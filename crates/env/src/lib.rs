@@ -219,6 +219,45 @@ pub struct UpdateHint {
     /// Request the box-sorted diameter scatter (uniform grid only; requires
     /// the cloud to implement [`PointCloud::diameters`]).
     pub scatter_diameters: bool,
+    /// Pin the uniform grid's geometry to an externally fixed frame instead
+    /// of deriving it from the cloud (sharded execution; see [`GridFrame`]).
+    /// `None` (the default) keeps the self-derived geometry.
+    pub grid_frame: Option<GridFrame>,
+}
+
+/// Externally pinned grid geometry for a [`UniformGridEnvironment`] build.
+///
+/// The sharded engine gives every shard its own grid over a *subset* of the
+/// global point cloud (owned + halo agents), but bitwise shard-count
+/// invariance requires each agent to land in **exactly** the box the
+/// single-engine global grid would assign — the box coordinate computation
+/// `((pos - anchor) * inv_box_length) as i64` is floating point, so the
+/// anchor must be the *global* anchor, not the shard cloud's own minimum.
+///
+/// A frame pins: the global anchor, the shard's window into the global box
+/// lattice (`box_offset` + `dims`, so a shard only allocates boxes for its
+/// own region), and the global SoA-cache decision (`build_cache`), which
+/// must not flip per shard because the SoA and linked-list query paths
+/// enumerate neighbors along different (equally valid) orders.
+///
+/// Box coordinates are computed against the global frame first and then
+/// shifted by `box_offset` in exact integer arithmetic, so membership is
+/// bitwise-identical to the global grid by construction.
+#[derive(Debug, Clone, Copy)]
+pub struct GridFrame {
+    /// Global grid anchor (the single-engine `grid_min`).
+    pub anchor: Real3,
+    /// Global grid dimensions in boxes (the single-engine `dims`); global
+    /// box coordinates are clamped into this lattice *before* the window
+    /// shift, mirroring the single-engine clamp.
+    pub global_dims: [u32; 3],
+    /// Global box coordinate of this window's origin box.
+    pub box_offset: [u32; 3],
+    /// Window dimensions in boxes; the build allocates only
+    /// `dims[0]·dims[1]·dims[2]` boxes.
+    pub dims: [u32; 3],
+    /// The *global* grid's SoA-cache decision, forced onto this build.
+    pub build_cache: bool,
 }
 
 /// Whether [`Environment::update_with`] must materialize the uniform grid's

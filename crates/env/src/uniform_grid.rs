@@ -176,8 +176,18 @@ pub struct UniformGridEnvironment {
     successors: Vec<u32>,
     /// Current grid timestamp; a box is valid only if its stamp matches.
     timestamp: u32,
-    /// Number of boxes per axis.
+    /// Number of boxes per axis (the *window* dimensions under an external
+    /// [`GridFrame`](crate::GridFrame); equal to `global_dims` otherwise).
     dims: [u32; 3],
+    /// Global lattice dimensions box coordinates are clamped into *before*
+    /// the window shift. Self-derived builds keep `global_dims == dims`, so
+    /// the extra clamp is a no-op there.
+    global_dims: [u32; 3],
+    /// Global box coordinate of this grid's window origin (all zero unless
+    /// an external [`GridFrame`](crate::GridFrame) pinned a window). Applied
+    /// in exact integer arithmetic after the global clamp, so a windowed
+    /// build assigns bitwise-identical box membership to the global build.
+    box_offset: [i64; 3],
     /// Lower corner of the grid.
     grid_min: Real3,
     /// Edge length of a cubic box (= interaction radius).
@@ -246,6 +256,8 @@ impl UniformGridEnvironment {
             successors: Vec::new(),
             timestamp: 0,
             dims: [0; 3],
+            global_dims: [0; 3],
+            box_offset: [0; 3],
             grid_min: Real3::ZERO,
             box_length: 1.0,
             inv_box_length: 1.0,
@@ -285,15 +297,73 @@ impl UniformGridEnvironment {
     }
 
     /// Box coordinates containing `pos` (clamped into the grid).
+    ///
+    /// Under an external [`GridFrame`](crate::GridFrame) the computation
+    /// runs against the *global* anchor and lattice first and the window
+    /// shift happens in exact integer arithmetic afterwards, so a windowed
+    /// shard grid agrees bitwise with the global grid on box membership.
+    /// Self-derived builds have a zero offset and `global_dims == dims`,
+    /// reproducing the historical single-clamp result exactly.
     #[inline]
     pub fn box_coordinates(&self, pos: Real3) -> [u32; 3] {
+        let g =
+            Self::global_box_coordinates(pos, self.grid_min, self.inv_box_length, self.global_dims);
         let mut out = [0u32; 3];
         for a in 0..3 {
-            let rel = (pos[a] - self.grid_min[a]) * self.inv_box_length;
-            let idx = if rel <= 0.0 { 0 } else { rel as i64 };
-            out[a] = (idx.min(self.dims[a] as i64 - 1)).max(0) as u32;
+            out[a] = (g[a] as i64 - self.box_offset[a]).clamp(0, self.dims[a] as i64 - 1) as u32;
         }
         out
+    }
+
+    /// The global-lattice box coordinate computation every build shares —
+    /// exposed so external partitioners (the sharded engine's Morton-range
+    /// split) assign agents to boxes with the *identical* floating-point
+    /// expression the grid uses, keeping membership bitwise reproducible.
+    #[inline]
+    pub fn global_box_coordinates(
+        pos: Real3,
+        anchor: Real3,
+        inv_box_length: f64,
+        global_dims: [u32; 3],
+    ) -> [u32; 3] {
+        let mut out = [0u32; 3];
+        for a in 0..3 {
+            let rel = (pos[a] - anchor[a]) * inv_box_length;
+            let idx = if rel <= 0.0 { 0 } else { rel as i64 };
+            out[a] = (idx.min(global_dims[a] as i64 - 1)).max(0) as u32;
+        }
+        out
+    }
+
+    /// The global-lattice dimension formula every build shares (per axis:
+    /// `⌊extent / box_length⌋ + 1`, capped at the Morton range) — exposed
+    /// for the same reason as
+    /// [`UniformGridEnvironment::global_box_coordinates`].
+    #[inline]
+    pub fn global_dims_for(min: Real3, max: Real3, box_length: f64) -> [u32; 3] {
+        let mut dims = [0u32; 3];
+        for a in 0..3 {
+            let extent = (max[a] - min[a]).max(0.0);
+            let d = (extent / box_length).floor() as u32 + 1;
+            // Cap per-axis dimension to the Morton range.
+            dims[a] = d.min(1 << 20);
+        }
+        dims
+    }
+
+    /// The SoA-cache decision a *self-derived* build over `n` points in a
+    /// `global_dims` lattice would make — exposed so the sharded engine can
+    /// force the global decision onto every shard window
+    /// ([`GridFrame::build_cache`](crate::GridFrame::build_cache)): if shards
+    /// decided independently, a dense global population could split into
+    /// sparse windows whose query paths diverge from the single-engine run.
+    #[inline]
+    pub fn global_build_cache(global_dims: [u32; 3], n: usize) -> bool {
+        let mut nboxes = 1usize;
+        for d in global_dims {
+            nboxes = nboxes.saturating_mul(d as usize);
+        }
+        nboxes <= n.saturating_mul(SOA_MAX_BOXES_PER_POINT) && nboxes <= u32::MAX as usize
     }
 
     /// Flattened (row-major) index of box `(x, y, z)`.
@@ -856,48 +926,75 @@ impl Environment for UniformGridEnvironment {
         if n == 0 {
             self.bounds = None;
             self.dims = [0; 3];
+            self.global_dims = [0; 3];
+            self.box_offset = [0; 3];
             return;
         }
 
-        // Bounding box: taken from the hint when the caller already swept
-        // the cloud (the engine's snapshot gather), otherwise one reduction
-        // pass (parallel above the threshold).
-        let (min, max) = hint.known_bounds.unwrap_or_else(|| {
-            let neutral = || (Real3::splat(f64::INFINITY), Real3::splat(f64::NEG_INFINITY));
-            if n < PARALLEL_BUILD_THRESHOLD {
-                (0..n).fold(neutral(), |(lo, hi), i| {
-                    let p = positions.get(i);
-                    (lo.min(&p), hi.max(&p))
-                })
-            } else {
-                (0..n)
-                    .into_par_iter()
-                    .fold(neutral, |(lo, hi), i| {
+        let build_cache;
+        let mut nboxes = 1usize;
+        if let Some(frame) = hint.grid_frame {
+            // Externally pinned geometry (sharded execution): the anchor,
+            // the global lattice, the shard's window, and the SoA-cache
+            // decision all come from the frame — never from this cloud —
+            // so box membership and the query path agree bitwise with the
+            // global build. Bounds are informational under a frame; the
+            // caller passes the window's geometric bounds via the hint.
+            self.bounds = hint.known_bounds;
+            self.box_length = interaction_radius;
+            self.inv_box_length = 1.0 / interaction_radius;
+            self.grid_min = frame.anchor;
+            self.global_dims = frame.global_dims;
+            self.dims = frame.dims;
+            for a in 0..3 {
+                debug_assert!(frame.dims[a] >= 1, "frame window must be non-empty");
+                debug_assert!(
+                    frame.box_offset[a] + frame.dims[a] <= frame.global_dims[a].max(1),
+                    "frame window must lie inside the global lattice"
+                );
+                self.box_offset[a] = frame.box_offset[a] as i64;
+                nboxes = nboxes.saturating_mul(frame.dims[a] as usize);
+            }
+            build_cache = frame.build_cache && nboxes <= u32::MAX as usize;
+        } else {
+            // Bounding box: taken from the hint when the caller already
+            // swept the cloud (the engine's snapshot gather), otherwise one
+            // reduction pass (parallel above the threshold).
+            let (min, max) = hint.known_bounds.unwrap_or_else(|| {
+                let neutral = || (Real3::splat(f64::INFINITY), Real3::splat(f64::NEG_INFINITY));
+                if n < PARALLEL_BUILD_THRESHOLD {
+                    (0..n).fold(neutral(), |(lo, hi), i| {
                         let p = positions.get(i);
                         (lo.min(&p), hi.max(&p))
                     })
-                    .reduce(neutral, |a, b| (a.0.min(&b.0), a.1.max(&b.1)))
+                } else {
+                    (0..n)
+                        .into_par_iter()
+                        .fold(neutral, |(lo, hi), i| {
+                            let p = positions.get(i);
+                            (lo.min(&p), hi.max(&p))
+                        })
+                        .reduce(neutral, |a, b| (a.0.min(&b.0), a.1.max(&b.1)))
+                }
+            });
+            self.bounds = Some((min, max));
+            self.box_length = interaction_radius;
+            self.inv_box_length = 1.0 / interaction_radius;
+            self.grid_min = min;
+            self.dims = Self::global_dims_for(min, max, interaction_radius);
+            for a in 0..3 {
+                nboxes = nboxes.saturating_mul(self.dims[a] as usize);
             }
-        });
-        self.bounds = Some((min, max));
-        self.box_length = interaction_radius;
-        self.inv_box_length = 1.0 / interaction_radius;
-        self.grid_min = min;
-        let mut nboxes = 1usize;
-        for a in 0..3 {
-            let extent = (max[a] - min[a]).max(0.0);
-            let d = (extent / interaction_radius).floor() as u32 + 1;
-            // Cap per-axis dimension to the Morton range.
-            self.dims[a] = d.min(1 << 20);
-            nboxes = nboxes.saturating_mul(self.dims[a] as usize);
+            self.global_dims = self.dims;
+            self.box_offset = [0; 3];
+            // Dense clouds get the SoA query cache; sparse clouds skip it to
+            // preserve the O(#agents) rebuild (module docs). The linked
+            // lists are the inverse: sparse clouds need them for the query
+            // fallback, dense clouds build them only on request (lazy list).
+            build_cache =
+                nboxes <= n.saturating_mul(SOA_MAX_BOXES_PER_POINT) && nboxes <= u32::MAX as usize;
+            // flat indices fit the u32 scratch
         }
-
-        // Dense clouds get the SoA query cache; sparse clouds skip it to
-        // preserve the O(#agents) rebuild (module docs). The linked lists
-        // are the inverse: sparse clouds need them for the query fallback,
-        // dense clouds build them only on request (lazy list).
-        let build_cache =
-            nboxes <= n.saturating_mul(SOA_MAX_BOXES_PER_POINT) && nboxes <= u32::MAX as usize; // flat indices fit the u32 scratch
         let build_lists = hint.build_box_lists == BoxListPolicy::Always || !build_cache;
 
         if build_lists {
@@ -1128,6 +1225,8 @@ impl Environment for UniformGridEnvironment {
         self.successors.clear();
         self.num_points = 0;
         self.dims = [0; 3];
+        self.global_dims = [0; 3];
+        self.box_offset = [0; 3];
         self.bounds = None;
         self.cell_offsets.clear();
         self.sorted_slots.clear();

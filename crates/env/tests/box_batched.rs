@@ -45,6 +45,7 @@ fn scatter_hint() -> UpdateHint {
         build_box_lists: BoxListPolicy::IfNeeded,
         known_bounds: None,
         scatter_diameters: true,
+        ..UpdateHint::default()
     }
 }
 

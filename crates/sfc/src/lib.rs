@@ -9,10 +9,14 @@
 //! * [`gap`] — the paper's linear-time algorithm for enumerating the boxes of
 //!   a *non-power-of-two* grid in Morton order without sorting and without
 //!   visiting out-of-domain codes (Figure 3 D/E).
+//! * [`ranges`] — deterministic Morton-code range partitioning used by the
+//!   sharded engine (TeraAgent direction): split a code population into K
+//!   contiguous, roughly balanced intervals.
 
 pub mod gap;
 pub mod hilbert;
 pub mod morton;
+pub mod ranges;
 
 /// Which space-filling curve orders the grid boxes during agent sorting
 /// (paper Section 4.2: the authors measured a 0.54% advantage for the
@@ -34,3 +38,4 @@ pub use hilbert::{hilbert3_decode, hilbert3_encode, HILBERT3_BITS};
 pub use morton::{
     morton2_decode, morton2_encode, morton3_decode, morton3_encode, MORTON2_BITS, MORTON3_BITS,
 };
+pub use ranges::{shard_of, split_ranges, ShardRange};

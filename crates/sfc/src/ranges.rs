@@ -1,0 +1,183 @@
+//! Space-filling-curve range partitioning for sharded execution.
+//!
+//! The sharded engine (TeraAgent direction: spatial domain decomposition
+//! with halo exchange) splits the agent population across K shards by
+//! *Morton-code range*: every grid box has a Morton code, every agent
+//! inherits its box's code, and a shard owns a half-open code interval.
+//! Because Morton order preserves spatial locality, a contiguous code
+//! range is a spatially compact region and its halo surface stays small.
+//!
+//! Splitting is a **pure function of the code multiset and K** — no state
+//! is carried between iterations — so the partition can be recomputed from
+//! scratch every iteration (implicit deterministic migration) and a
+//! checkpoint restored into a *different* shard count replays bitwise
+//! identically: the partition never feeds the simulation results, only the
+//! execution schedule.
+
+/// Maximum number of sample codes drawn for quantile estimation. The
+/// sample is a deterministic stride over the code array (never random),
+/// so equal inputs always produce equal partitions.
+const MAX_SAMPLES: usize = 4096;
+
+/// A half-open Morton-code interval `[begin, end)` owned by one shard.
+/// The last shard's `end` is [`u64::MAX`] and that shard additionally owns
+/// the code `u64::MAX` itself, so the K ranges jointly cover every code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRange {
+    /// First code owned by the shard (inclusive).
+    pub begin: u64,
+    /// First code *not* owned by the shard (exclusive), except that the
+    /// final shard also owns `u64::MAX`.
+    pub end: u64,
+}
+
+impl ShardRange {
+    /// True if `code` falls inside this range (the final range also
+    /// accepts `u64::MAX`).
+    pub fn contains(&self, code: u64) -> bool {
+        code >= self.begin && (code < self.end || (self.end == u64::MAX && code == u64::MAX))
+    }
+}
+
+/// Splits the code population into `shards` contiguous Morton ranges of
+/// approximately equal agent count.
+///
+/// Deterministic: a stride sample of at most `MAX_SAMPLES` (4096) codes is
+/// sorted and quantile boundaries are read off it. Ranges are ascending,
+/// contiguous, and cover `[0, u64::MAX]`; heavily duplicated codes can
+/// produce empty ranges (`begin == end`), which the sharded engine treats
+/// as valid empty shards.
+///
+/// # Panics
+/// Panics if `shards == 0`.
+pub fn split_ranges(codes: &[u64], shards: usize) -> Vec<ShardRange> {
+    assert!(shards > 0, "shard count must be at least 1");
+    if shards == 1 || codes.is_empty() {
+        let mut out = vec![ShardRange { begin: 0, end: 0 }; shards];
+        out[0] = ShardRange {
+            begin: 0,
+            end: u64::MAX,
+        };
+        // All-empty population or K == 1: the first shard owns everything
+        // and the rest (if any) are empty ranges stacked at the top.
+        for r in out.iter_mut().skip(1) {
+            *r = ShardRange {
+                begin: u64::MAX,
+                end: u64::MAX,
+            };
+        }
+        return out;
+    }
+
+    let stride = codes.len().div_ceil(MAX_SAMPLES).max(1);
+    let mut samples: Vec<u64> = codes.iter().step_by(stride).copied().collect();
+    samples.sort_unstable();
+
+    let mut bounds = Vec::with_capacity(shards + 1);
+    bounds.push(0u64);
+    for j in 1..shards {
+        let q = samples[(j * samples.len() / shards).min(samples.len() - 1)];
+        // Boundaries must be non-decreasing even when quantiles collide.
+        let prev = *bounds.last().unwrap();
+        bounds.push(q.max(prev));
+    }
+    bounds.push(u64::MAX);
+
+    bounds
+        .windows(2)
+        .map(|w| ShardRange {
+            begin: w[0],
+            end: w[1],
+        })
+        .collect()
+}
+
+/// Index of the shard owning `code` under `ranges` (as produced by
+/// [`split_ranges`]): binary search over the ascending boundaries.
+pub fn shard_of(ranges: &[ShardRange], code: u64) -> usize {
+    debug_assert!(!ranges.is_empty());
+    // partition_point: first range whose `end` exceeds `code` owns it;
+    // code == u64::MAX belongs to the last range by convention.
+    let idx = ranges.partition_point(|r| r.end <= code);
+    idx.min(ranges.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ranges = split_ranges(&[1, 5, 9], 1);
+        assert_eq!(ranges.len(), 1);
+        for code in [0, 1, 5, 9, u64::MAX] {
+            assert!(ranges[0].contains(code));
+            assert_eq!(shard_of(&ranges, code), 0);
+        }
+    }
+
+    #[test]
+    fn ranges_are_contiguous_and_cover_everything() {
+        let codes: Vec<u64> = (0..10_000).map(|i| (i * 37) % 4096).collect();
+        for k in [2, 3, 4, 7, 16] {
+            let ranges = split_ranges(&codes, k);
+            assert_eq!(ranges.len(), k);
+            assert_eq!(ranges[0].begin, 0);
+            assert_eq!(ranges[k - 1].end, u64::MAX);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].begin, "contiguous");
+                assert!(w[0].begin <= w[0].end, "ascending");
+            }
+            for &code in &codes {
+                let s = shard_of(&ranges, code);
+                assert!(ranges[s].contains(code));
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_roughly_balanced() {
+        let codes: Vec<u64> = (0..8192).collect();
+        let ranges = split_ranges(&codes, 4);
+        let mut counts = [0usize; 4];
+        for &c in &codes {
+            counts[shard_of(&ranges, c)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 8192 / 8, "no shard should be starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_codes_yield_empty_but_valid_ranges() {
+        let codes = vec![42u64; 1000];
+        let ranges = split_ranges(&codes, 4);
+        assert_eq!(ranges.len(), 4);
+        // All agents land in one shard; the others are empty but the
+        // partition still covers the full code space.
+        let s = shard_of(&ranges, 42);
+        assert!(ranges[s].contains(42));
+        assert_eq!(ranges[0].begin, 0);
+        assert_eq!(ranges[3].end, u64::MAX);
+    }
+
+    #[test]
+    fn empty_population_still_partitions() {
+        let ranges = split_ranges(&[], 3);
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(shard_of(&ranges, 0), 0);
+        assert_eq!(shard_of(&ranges, u64::MAX), 2);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let codes: Vec<u64> = (0..50_000).map(|i| (i * 2654435761) % 100_000).collect();
+        assert_eq!(split_ranges(&codes, 7), split_ranges(&codes, 7));
+    }
+
+    #[test]
+    fn max_code_belongs_to_last_shard() {
+        let ranges = split_ranges(&[0, u64::MAX], 2);
+        assert_eq!(shard_of(&ranges, u64::MAX), 1);
+    }
+}

@@ -340,6 +340,41 @@ fn mid_window_restore_without_the_custom_op_is_a_typed_error() {
     }
 }
 
+/// A checkpoint captured under one shard count restores into *any other*
+/// shard count and replays bitwise identically: the SHARDS section is
+/// validation-only, the partition is a pure function of agent state, and
+/// the `halo_exchange` op exists in every pipeline — so the restored run
+/// simply re-partitions under its own K at the first exchange.
+#[test]
+fn restore_into_different_shard_count_replays_identically() {
+    let reg = Registry::with_builtin_types();
+    for model in all_models(SCALE) {
+        let label = model.name();
+        let mut truth = model.build(Param {
+            shards: 4,
+            ..param_for(EnvironmentKind::UniformGrid, 1, 1)
+        });
+        truth.simulate(3);
+        let bytes = checkpoint(&truth).unwrap_or_else(|e| panic!("{label}: checkpoint: {e}"));
+        truth.simulate(4);
+        let end = fingerprint(&truth);
+        for k in [1usize, 2, 7] {
+            let mut restored = restore_with(&bytes, &reg, |mut p| {
+                assert_eq!(p.shards, 4, "PARAM section carries the captured K");
+                p.shards = k;
+                Simulation::new(p)
+            })
+            .unwrap_or_else(|e| panic!("{label}: restore into K={k}: {e}"));
+            restored.simulate(4);
+            assert_identical(
+                &end,
+                &fingerprint(&restored),
+                &format!("{label}: captured at K=4, replayed at K={k}"),
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

@@ -4,9 +4,14 @@
 //! are derived from parent uids (not from scheduling), so population-level
 //! outcomes of neighbor-independent models are invariant under thread
 //! count, NUMA domains, sorting, and environment choice.
+//!
+//! Tests that stay on the default uniform grid honor `BDM_TEST_SHARDS`
+//! (see [`test_shards`]): CI reruns this suite with the sharded engine and
+//! every guarantee must hold bit-for-bit there too.
 
 use std::collections::BTreeMap;
 
+use biodynamo::core::testing::test_shards;
 use biodynamo::models::{all_models, BenchmarkModel};
 use biodynamo::prelude::*;
 
@@ -33,6 +38,7 @@ fn single_thread_runs_are_bit_reproducible() {
             threads: Some(1),
             numa_domains: Some(1),
             seed: 99,
+            shards: test_shards(),
             ..Param::default()
         };
         let a = snapshot(&run(model.as_ref(), param(), 10));
@@ -54,6 +60,7 @@ fn different_seeds_differ() {
         threads: Some(1),
         numa_domains: Some(1),
         seed,
+        shards: test_shards(),
         ..Param::default()
     };
     let a = snapshot(&run(&model, mk(1), 10));
@@ -81,6 +88,7 @@ fn population_invariant_under_thread_count() {
             Param {
                 threads: Some(threads),
                 numa_domains: Some(domains),
+                shards: test_shards(),
                 ..Param::default()
             },
             12,
@@ -155,6 +163,7 @@ fn scheduler_extraction_preserves_bit_reproducibility() {
             threads: Some(1),
             numa_domains: Some(1),
             seed: 99,
+            shards: test_shards(),
             ..Param::default()
         };
         let via_param = snapshot(&run(model.as_ref(), param.clone(), 10));
@@ -184,6 +193,7 @@ fn epidemiology_infections_are_seed_deterministic() {
                 threads: Some(1),
                 numa_domains: Some(1),
                 seed: 5,
+                shards: test_shards(),
                 ..Param::default()
             },
             15,

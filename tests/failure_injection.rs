@@ -343,6 +343,84 @@ mod corrupt_checkpoints {
         }
     }
 
+    /// A checkpoint from a *sharded* run, with every corruption mode aimed
+    /// at its SHARDS section: a plain payload flip is caught by the section
+    /// checksum; fully re-sealed corruptions (valid checksums, impossible
+    /// content) are caught by the manifest validation — always a typed,
+    /// section-naming error, never a panic.
+    #[test]
+    fn corrupt_shard_section_is_a_typed_error() {
+        let reg = Registry::with_builtin_types();
+        let mut sim = Simulation::new(Param {
+            threads: Some(1),
+            numa_domains: Some(1),
+            shards: 4,
+            interaction_radius: Some(12.0),
+            ..Param::default()
+        });
+        for i in 0..40 {
+            let uid = sim.new_uid();
+            sim.add_agent(
+                Cell::new(uid)
+                    .with_position(Real3::new(i as f64 * 9.0, 0.0, 0.0))
+                    .with_diameter(8.0),
+            );
+        }
+        sim.simulate(3);
+        assert!(sim.shard_manifest().is_some(), "run must have exchanged");
+        let bytes = checkpoint(&sim).expect("sharded checkpoint");
+
+        // Locate the SHRD section: tag(4) + len(8) + sum(8) + payload.
+        let tag_at = bytes
+            .windows(4)
+            .position(|w| w == b"SHRD")
+            .expect("SHRD section present");
+        let payload_len =
+            u64::from_le_bytes(bytes[tag_at + 4..tag_at + 12].try_into().unwrap()) as usize;
+        let payload_at = tag_at + 20;
+        assert!(
+            payload_len > 8,
+            "a sharded run's manifest carries ranges and counts"
+        );
+
+        // Re-seals section checksum and file trailer after a payload edit.
+        let reseal = |mut b: Vec<u8>| {
+            let sum = biodynamo::util::fnv1a64(&b[payload_at..payload_at + payload_len]);
+            b[tag_at + 12..tag_at + 20].copy_from_slice(&sum.to_le_bytes());
+            let body_len = b.len() - 8;
+            let trailer = biodynamo::util::fnv1a64(&b[..body_len]);
+            b[body_len..].copy_from_slice(&trailer.to_le_bytes());
+            b
+        };
+
+        // 1. Plain payload flip: the file/section checksums catch it.
+        let mut flipped = bytes.clone();
+        flipped[payload_at + 3] ^= 0x40;
+        match restore(&flipped, &reg).err().unwrap() {
+            CheckpointError::ChecksumMismatch { .. } => {}
+            other => panic!("payload flip: unexpected error {other}"),
+        }
+
+        // 2. Re-sealed impossible shard count (> MAX_SHARDS): the manifest
+        //    reader rejects it by name.
+        let mut bad_count = bytes.clone();
+        bad_count[payload_at..payload_at + 8].copy_from_slice(&999u64.to_le_bytes());
+        match restore(&reseal(bad_count), &reg).err().unwrap() {
+            CheckpointError::Malformed { section, .. } => assert_eq!(section, "SHARDS"),
+            CheckpointError::Truncated { section, .. } => assert_eq!(section, "SHARDS"),
+            other => panic!("bad shard count: unexpected error {other}"),
+        }
+
+        // 3. Re-sealed non-contiguous ranges: first range's begin moved off
+        //    zero breaks the tiling invariant.
+        let mut bad_ranges = bytes.clone();
+        bad_ranges[payload_at + 8..payload_at + 16].copy_from_slice(&7u64.to_le_bytes());
+        match restore(&reseal(bad_ranges), &reg).err().unwrap() {
+            CheckpointError::Malformed { section, .. } => assert_eq!(section, "SHARDS"),
+            other => panic!("broken ranges: unexpected error {other}"),
+        }
+    }
+
     /// Flipping a payload byte *and* re-sealing both the section checksum
     /// and the file trailer defeats the checksums by construction — but a
     /// semantically impossible value still fails with a typed, named error

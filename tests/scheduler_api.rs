@@ -83,6 +83,7 @@ fn default_pipeline_is_algorithm_1() {
         sim.scheduler().op_names(),
         vec![
             "snapshot",
+            "halo_exchange",
             "environment_update",
             "agent_ops",
             "diffusion",

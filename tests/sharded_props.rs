@@ -1,0 +1,170 @@
+//! Property-based shard-count invariance plus directed halo edge cases.
+//!
+//! The property: for *any* (model, shard count, iteration count, seed), the
+//! sharded run is bitwise identical to the single-engine run. The directed
+//! tests pin the halo-exchange geometry cases that random sampling is
+//! unlikely to hit: agents exactly on box/range boundaries, an interaction
+//! radius spanning three shards' ranges, shards left empty by a population
+//! smaller than K, and the whole population collapsed into one box.
+
+use biodynamo::core::testing::{fingerprint, first_divergence, SimFingerprint};
+use biodynamo::models::all_models;
+use biodynamo::prelude::*;
+use proptest::prelude::*;
+
+fn model_run(model_idx: usize, shards: usize, iterations: usize, seed: u64) -> SimFingerprint {
+    let model = &all_models(70)[model_idx];
+    let mut sim = model.build(Param {
+        threads: Some(1),
+        numa_domains: Some(1),
+        seed,
+        shards,
+        ..Param::default()
+    });
+    sim.simulate(iterations);
+    fingerprint(&sim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bitwise invariance over the full configuration space.
+    #[test]
+    fn prop_shard_count_never_changes_results(
+        model_idx in 0usize..6,
+        shards in 2usize..=8,
+        iterations in 1usize..=8,
+        seed in 0u64..1_000_000,
+    ) {
+        let reference = model_run(model_idx, 1, iterations, seed);
+        let candidate = model_run(model_idx, shards, iterations, seed);
+        if let Some(divergence) = first_divergence(&reference, &candidate) {
+            let name = all_models(70)[model_idx].name();
+            prop_assert!(
+                false,
+                "{name} (K={shards}, iters={iterations}, seed={seed}): {divergence}"
+            );
+        }
+    }
+}
+
+/// Builds a plain-cell simulation over explicit positions and steps it.
+fn cells_run(positions: &[Real3], shards: usize, iterations: usize) -> SimFingerprint {
+    let mut sim = Simulation::new(Param {
+        threads: Some(1),
+        numa_domains: Some(1),
+        seed: 11,
+        shards,
+        interaction_radius: Some(10.0),
+        ..Param::default()
+    });
+    for p in positions {
+        let uid = sim.new_uid();
+        sim.add_agent(Cell::new(uid).with_position(*p).with_diameter(8.0));
+    }
+    sim.simulate(iterations);
+    fingerprint(&sim)
+}
+
+fn assert_invariant(positions: &[Real3], context: &str) {
+    let reference = cells_run(positions, 1, 6);
+    for shards in [2, 3, 4, 7] {
+        let candidate = cells_run(positions, shards, 6);
+        if let Some(divergence) = first_divergence(&reference, &candidate) {
+            panic!("{context} (K={shards}): {divergence}");
+        }
+    }
+}
+
+/// Agents placed exactly on box-edge coordinates: the global box assignment
+/// `floor((p - min) * inv)` sits on an FP knife edge there, and a shard
+/// boundary between two such boxes puts the agents exactly on the SFC range
+/// frontier. The pinned grid frame must keep both sides bitwise consistent.
+#[test]
+fn agents_on_exact_box_boundaries() {
+    let mut positions = Vec::new();
+    for i in 0..12 {
+        for j in 0..3 {
+            // Multiples of the interaction radius (box edge length 10).
+            positions.push(Real3::new(i as f64 * 10.0, j as f64 * 10.0, 0.0));
+        }
+    }
+    assert_invariant(&positions, "box-boundary agents");
+}
+
+/// A dense line where one interaction radius covers many boxes' worth of
+/// agents: with K = 7 over few occupied boxes the ranges are so thin that a
+/// single query sphere spans three shards — its halo must import from both
+/// non-owner sides.
+#[test]
+fn interaction_radius_spanning_three_shards() {
+    let positions: Vec<Real3> = (0..60)
+        .map(|i| Real3::new(i as f64 * 2.5, 0.0, 0.0))
+        .collect();
+    assert_invariant(&positions, "radius spanning three shards");
+}
+
+/// Fewer agents than shards: most shards own nothing and must still build
+/// (empty) grids and serve (empty) queries without perturbing the rest.
+#[test]
+fn population_smaller_than_shard_count() {
+    let positions: Vec<Real3> = (0..3)
+        .map(|i| Real3::new(i as f64 * 6.0, 0.0, 0.0))
+        .collect();
+    assert_invariant(&positions, "empty shards");
+}
+
+/// Every agent in one grid box: all Morton codes are equal, so one shard
+/// owns everything and the others are empty ranges stacked at the top of
+/// the code space.
+#[test]
+fn all_agents_in_one_shard() {
+    let positions: Vec<Real3> = (0..20)
+        .map(|i| Real3::new(1.0 + 0.1 * i as f64, 2.0, 3.0))
+        .collect();
+    assert_invariant(&positions, "all-in-one-shard");
+}
+
+/// Populations that collapse to a point mid-run keep working: start spread
+/// out (multi-shard) and let strong attraction pull everything together —
+/// the partition re-splits every structural change and must stay invariant
+/// throughout.
+#[test]
+fn partition_tracks_collapsing_population() {
+    let positions: Vec<Real3> = (0..27)
+        .map(|i| {
+            Real3::new(
+                (i % 3) as f64 * 9.0,
+                ((i / 3) % 3) as f64 * 9.0,
+                (i / 9) as f64 * 9.0,
+            )
+        })
+        .collect();
+    let run = |shards: usize| {
+        let mut sim = Simulation::new(Param {
+            threads: Some(1),
+            numa_domains: Some(1),
+            seed: 3,
+            shards,
+            interaction_radius: Some(12.0),
+            ..Param::default()
+        });
+        sim.set_force(InteractionForce {
+            repulsion: 0.5,
+            attraction: 8.0,
+        });
+        for p in &positions {
+            let uid = sim.new_uid();
+            sim.add_agent(Cell::new(uid).with_position(*p).with_diameter(10.0));
+        }
+        sim.simulate(12);
+        fingerprint(&sim)
+    };
+    let reference = run(1);
+    for shards in [2, 4, 7] {
+        let candidate = run(shards);
+        if let Some(divergence) = first_divergence(&reference, &candidate) {
+            panic!("collapsing population (K={shards}): {divergence}");
+        }
+    }
+}
